@@ -1,0 +1,25 @@
+"""Regenerate the fixed-bit-budget ablation (paper section 5).
+
+Prints what a ~64K-bit budget buys when spent on second-level counters
+versus on first-level history entries.
+"""
+
+from conftest import scaled_options
+
+
+def bench_ablation_budget(regenerate):
+    result = regenerate("ablation_budget", scaled_options())
+    data = result.data
+    for name in ("mpeg_play", "real_gcc"):
+        counters = data[
+            (name, "32768-counter address-indexed (65,536 bits)")
+        ]
+        pas = data[
+            (
+                name,
+                "1024 counters + 10-bit histories for 4096 branches "
+                "(43,008 bits)",
+            )
+        ]
+        # Fewer bits, better accuracy: the history allocation wins.
+        assert pas < counters, name

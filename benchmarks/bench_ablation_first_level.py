@@ -1,0 +1,23 @@
+"""Regenerate the first-level-policy ablation.
+
+Prints, per benchmark, PAs (tagged reset) vs SAs (untagged pollution)
+at equal first-level capacities against the perfect-history ceiling.
+"""
+
+from conftest import scaled_options
+
+
+def bench_ablation_first_level(regenerate):
+    result = regenerate("ablation_first_level", scaled_options())
+    data = result.data
+    for name in ("mpeg_play", "real_gcc"):
+        # Untagged pollution costs at least as much as tagged reset at
+        # every capacity...
+        for entries in (128, 512, 2048):
+            assert (
+                data[(name, "sas", entries)]
+                >= data[(name, "pas", entries)] - 0.003
+            ), (name, entries)
+        # ...and keeps hurting at capacities where tags are almost free.
+        assert data[(name, "sas", 2048)] > data[(name, "inf")] + 0.005, name
+        assert data[(name, "pas", 2048)] < data[(name, "inf")] + 0.005, name

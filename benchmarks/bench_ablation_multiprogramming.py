@@ -1,0 +1,25 @@
+"""Regenerate the context-switch ablation.
+
+Prints each scheme's misprediction under round-robin multiprogramming
+at three quanta, with penalties over back-to-back execution.
+"""
+
+from conftest import scaled_options
+
+
+def bench_ablation_multiprogramming(regenerate):
+    result = regenerate("ablation_multiprogramming", scaled_options())
+    data = result.data
+    # The global-history scheme pays the largest fine-grained penalty.
+    gshare_penalty = (
+        data[("gshare 2^12", 100)] - data[("gshare 2^12", "baseline")]
+    )
+    pas_penalty = (
+        data[("PAs(1k) 2^3x2^9", 100)]
+        - data[("PAs(1k) 2^3x2^9", "baseline")]
+    )
+    assert gshare_penalty > pas_penalty
+    # Coarser quanta hurt gshare less than fine ones.
+    assert (
+        data[("gshare 2^12", 10_000)] < data[("gshare 2^12", 100)]
+    )

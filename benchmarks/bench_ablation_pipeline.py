@@ -1,0 +1,21 @@
+"""Regenerate the pipeline-cost ablation.
+
+Prints, per benchmark, the IPC / MPKI / branch-overhead / speedup table
+for static-taken, bimodal, gshare and PAs(1k) at a 4096-counter budget.
+"""
+
+from conftest import scaled_options
+
+
+def bench_ablation_pipeline(regenerate):
+    result = regenerate("ablation_pipeline", scaled_options())
+    data = result.data
+    for name in ("mpeg_play", "real_gcc"):
+        static = data[(name, "static taken")]
+        pas = data[(name, "PAs(1k)")]
+        # Dynamic prediction must buy real cycles over static...
+        assert pas.ipc > static.ipc * 1.05, name
+        # ...and the decomposition must be self-consistent.
+        assert pas.cycles == (
+            pas.base_cycles + pas.mispredict_cycles + pas.redirect_cycles
+        )

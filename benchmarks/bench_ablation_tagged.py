@@ -1,0 +1,22 @@
+"""Regenerate the tagged-table counterfactual ablation.
+
+Prints, per benchmark and entry count, the two-sided tagging result:
+tag-by-branch (helps where the address-indexed table aliases) versus
+tag-by-subcase (drowns in capacity misses at every size).
+"""
+
+from conftest import scaled_options
+
+
+def bench_ablation_tagged(regenerate):
+    result = regenerate("ablation_tagged", scaled_options())
+    data = result.data
+    for name in ("mpeg_play", "real_gcc"):
+        small = data[(name, 9)]
+        # Side 1: tagging by branch removes the small table's branch
+        # conflicts (must not lose to the direct-mapped table).
+        assert small["tagged_bimodal"] <= small["bimodal"] + 0.005, name
+        # Side 2: tagging by (history, branch) subcase thrashes — high
+        # allocation miss rate and no win over plain gshare.
+        assert small["tagged_gshare_miss"] > 0.30, name
+        assert small["tagged_gshare"] > small["gshare"] - 0.01, name

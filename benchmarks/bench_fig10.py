@@ -1,0 +1,26 @@
+"""Regenerate paper Figure 10: PAs with bounded first-level tables.
+
+Prints the mpeg_play PAs surface for 128-, 1024- and 2048-entry
+four-way first levels, each with its measured first-level miss rate.
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig10(regenerate):
+    result = regenerate("fig10", scaled_options(size_bits=FULL_SIZE_BITS))
+    surfaces = result.data["surfaces"]
+    tiny = surfaces["128 entries 4-way"]
+    mid = surfaces["1024 entries 4-way"]
+    big = surfaces["2048 entries 4-way"]
+    # First-level pollution raises misprediction roughly uniformly;
+    # the 128-entry table is crippling, 2048 nearly free.
+    for row_bits in (4, 8, 12):
+        assert (
+            tiny.point(12, row_bits).misprediction_rate
+            > big.point(12, row_bits).misprediction_rate
+        )
+    assert (
+        mid.best_in_tier(12).misprediction_rate
+        < tiny.best_in_tier(12).misprediction_rate
+    )

@@ -1,0 +1,19 @@
+"""Regenerate paper Figure 2: address-indexed predictors, 2^4..2^15.
+
+Prints one misprediction series per benchmark (all fourteen) across
+the full tier range.
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig2(regenerate):
+    result = regenerate("fig2", scaled_options(size_bits=FULL_SIZE_BITS))
+    series = result.data["series"]
+    assert len(series) == 14
+    # Shape: small SPEC saturates, large programs keep improving.
+    def gain(name):
+        return series[name][5] - series[name][-1]  # 2^9 -> 2^15
+
+    assert gain("compress") < 0.02
+    assert gain("real_gcc") > 0.005

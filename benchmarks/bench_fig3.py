@@ -1,0 +1,18 @@
+"""Regenerate paper Figure 3: GAg columns, 2^4..2^15 counters.
+
+Prints one misprediction series per benchmark across history lengths
+4..15 (single-column tables).
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig3(regenerate):
+    result = regenerate("fig3", scaled_options(size_bits=FULL_SIZE_BITS))
+    series = result.data["series"]
+    assert len(series) == 14
+    # Shape: longer global history helps every benchmark.
+    for name, rates in series.items():
+        assert rates[-1] < rates[0], name
+    # Small benchmarks do better at short histories than large ones.
+    assert series["espresso"][4] < series["real_gcc"][4]

@@ -1,0 +1,27 @@
+"""Regenerate paper Figure 4: GAs misprediction surfaces.
+
+Prints the full (columns x rows) surface for espresso, mpeg_play and
+real_gcc with best-in-tier markers.
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig4(regenerate):
+    result = regenerate("fig4", scaled_options(size_bits=FULL_SIZE_BITS))
+    surfaces = result.data["surfaces"]
+    # Shape: for the branch-rich benchmarks, small-table best is the
+    # address-indexed edge; large tables move the best toward rows.
+    for name in ("mpeg_play", "real_gcc"):
+        assert surfaces[name].best_in_tier(5).row_bits <= 1, name
+    assert surfaces["mpeg_play"].best_in_tier(15).row_bits >= 2
+    # The GAg edge of the big tier hurts real_gcc far more than
+    # espresso (the paper's 'striking distinction').
+    def edge_penalty(name):
+        surface = surfaces[name]
+        return (
+            surface.point(15, 15).misprediction_rate
+            - surface.best_in_tier(15).misprediction_rate
+        )
+
+    assert edge_penalty("real_gcc") > edge_penalty("espresso")

@@ -1,0 +1,25 @@
+"""Regenerate paper Figure 5: GAs aliasing surfaces.
+
+Prints the aliasing-rate surface (same grid as Figure 4) for the three
+focus benchmarks; best-in-tier misprediction positions are measured
+alongside so the aliasing/accuracy link is visible.
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig5(regenerate):
+    result = regenerate("fig5", scaled_options(size_bits=FULL_SIZE_BITS))
+    surfaces = result.data["surfaces"]
+    for name in ("mpeg_play", "real_gcc"):
+        surface = surfaces[name]
+        # Rows alias more than address bits distinguish...
+        assert (
+            surface.point(10, 9).aliasing_rate
+            > surface.point(10, 0).aliasing_rate
+        ), name
+        # ...and bigger tables alias less at the address edge.
+        assert (
+            surface.point(15, 0).aliasing_rate
+            < surface.point(8, 0).aliasing_rate
+        ), name

@@ -1,0 +1,20 @@
+"""Regenerate paper Figure 6: gshare misprediction surfaces.
+
+Prints the full gshare surface for the three focus benchmarks; the
+comparison with Figure 4 (near-identical shapes, single-column configs
+suboptimal for large benchmarks) is asserted below.
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig6(regenerate):
+    result = regenerate("fig6", scaled_options(size_bits=FULL_SIZE_BITS))
+    surfaces = result.data["surfaces"]
+    # Paper: for large benchmarks the single-column gshare configs
+    # (the only ones many studies evaluated) are suboptimal.
+    for name in ("mpeg_play", "real_gcc"):
+        surface = surfaces[name]
+        single_column = surface.point(12, 12).misprediction_rate
+        best = surface.best_in_tier(12).misprediction_rate
+        assert single_column > best + 0.002, name

@@ -1,0 +1,16 @@
+"""Regenerate paper Figure 7: gshare minus GAs on mpeg_play.
+
+Prints the per-configuration difference grid (percentage points,
+positive = gshare better).
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig7(regenerate):
+    result = regenerate("fig7", scaled_options(size_bits=FULL_SIZE_BITS))
+    grid = result.data["grid"]
+    # Paper: "the differences are quite small".
+    assert grid.mean_abs_difference() < 3.0
+    # The address-indexed edge is shared, hence exactly zero.
+    assert all(grid.cell(n, 0) == 0.0 for n in grid.sizes)

@@ -1,0 +1,25 @@
+"""Regenerate paper Figure 9: PAs surfaces with perfect histories.
+
+Prints the full PAs(inf) surface for the three focus benchmarks.
+"""
+
+from conftest import FULL_SIZE_BITS, scaled_options
+
+
+def bench_fig9(regenerate):
+    result = regenerate("fig9", scaled_options(size_bits=FULL_SIZE_BITS))
+    surfaces = result.data["surfaces"]
+    for name in ("mpeg_play", "real_gcc"):
+        surface = surfaces[name]
+        # Single-column configurations optimal or close to optimal.
+        gap = (
+            surface.point(13, 13).misprediction_rate
+            - surface.best_in_tier(13).misprediction_rate
+        )
+        assert gap < 0.02, name
+        # Growing the table buys little (paper: mpeg_play gains 1.9%
+        # from 16 -> 1024 counters and 1.0% from 1024 -> 32768).
+        assert (
+            surface.best_in_tier(10).misprediction_rate
+            - surface.best_in_tier(15).misprediction_rate
+        ) < 0.03, name

@@ -1,0 +1,21 @@
+"""Regenerate paper Table 1: benchmark characterization.
+
+Prints one row per benchmark (all six SPECint92 + all eight
+IBS-Ultrix): dynamic instructions, dynamic conditional branches, static
+branches, and 90%-coverage counts, next to the paper's reference
+values.
+"""
+
+from conftest import scaled_options
+
+
+def bench_table1(regenerate):
+    result = regenerate("table1", scaled_options())
+    stats = result.data["stats"]
+    assert len(stats) == 14
+    # Headline workload contrast: the IBS traces exercise far more
+    # branches than the small SPEC programs.
+    assert (
+        stats["real_gcc"].branches_for_90pct
+        > 8 * stats["espresso"].branches_for_90pct
+    )

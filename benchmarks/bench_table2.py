@@ -1,0 +1,19 @@
+"""Regenerate paper Table 2: branch execution frequency buckets.
+
+Prints, for espresso / mpeg_play / real_gcc, how many static branches
+contribute the first 50%, next 40%, next 9% and last 1% of dynamic
+instances, next to the paper's row.
+"""
+
+from conftest import scaled_options
+
+
+def bench_table2(regenerate):
+    result = regenerate("table2", scaled_options())
+    breakdowns = result.data["breakdowns"]
+    assert set(breakdowns) == {"espresso", "mpeg_play", "real_gcc"}
+    # Paper shape: half the executed instances come from under ~2% of
+    # the static branches in every focus benchmark.
+    for name, breakdown in breakdowns.items():
+        hot_fraction = breakdown.branch_counts[0] / breakdown.total_static
+        assert hot_fraction < 0.25, (name, hot_fraction)

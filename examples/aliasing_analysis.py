@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Aliasing analysis: the paper's core diagnostic, end to end.
+
+Walks through the three aliasing findings on one benchmark:
+
+1. second-level aliasing grows as columns are traded for rows
+   (Figure 5), and tracks the misprediction penalty;
+2. a meaningful share of GAg aliasing is *harmless* — about a fifth of
+   it lands on the all-taken loop pattern (section 3);
+3. PAs suffers aliasing in the *first level* instead: the same trace,
+   swept over first-level sizes, shows history pollution raising
+   misprediction uniformly (Figure 10 / Table 3).
+
+Run::
+
+    python examples/aliasing_analysis.py [benchmark] [length]
+"""
+
+import sys
+
+from repro import make_predictor_spec, make_workload, simulate
+from repro.aliasing import (
+    aliasing_rate,
+    all_ones_conflict_share,
+    classify_conflicts,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mpeg_play"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+    trace = make_workload(benchmark, length=length, seed=11)
+    print(f"=== {benchmark}: {length} branches, "
+          f"{trace.num_static_branches} static ===\n")
+
+    # 1. Trading columns for rows at a fixed 4096-counter budget.
+    print("1. Second-level aliasing vs table shape (4096 counters):")
+    rows = []
+    for row_bits in (0, 3, 6, 9, 12):
+        col_bits = 12 - row_bits
+        if row_bits == 0:
+            spec = make_predictor_spec("bimodal", cols=4096)
+        else:
+            spec = make_predictor_spec(
+                "gas", rows=1 << row_bits, cols=1 << col_bits
+            )
+        stats = classify_conflicts(spec, trace)
+        result = simulate(spec, trace)
+        rows.append(
+            [
+                f"2^{col_bits}x2^{row_bits}",
+                f"{stats.aliasing_rate:.2%}",
+                f"{stats.harmless_share:.0%}",
+                f"{result.misprediction_rate:.2%}",
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=["shape (cols x rows)", "aliasing", "harmless",
+                     "mispredict"],
+        )
+    )
+
+    # 2. The all-ones (tight loop) pattern.
+    spec = make_predictor_spec("gag", rows=4096)
+    share = all_ones_conflict_share(spec, trace)
+    print(
+        f"\n2. GAg 4096: {share:.1%} of conflicts sit on the all-taken "
+        "pattern (the paper reports 'approximately a fifth' for large "
+        "benchmarks) — aliasing between identical tight loops is "
+        "harmless."
+    )
+
+    # 3. First-level aliasing for PAs.
+    print("\n3. PAs: the aliasing that matters is in the first level:")
+    rows = []
+    for entries in (128, 512, 2048, None):
+        spec = make_predictor_spec(
+            "pag", rows=1024, bht_entries=entries, bht_assoc=4
+        )
+        result = simulate(spec, trace)
+        label = "perfect" if entries is None else f"{entries} x 4-way"
+        miss = (
+            "0.00%"
+            if result.first_level_miss_rate is None
+            else f"{result.first_level_miss_rate:.2%}"
+        )
+        rows.append([label, miss, f"{result.misprediction_rate:.2%}"])
+    print(
+        format_table(
+            rows,
+            headers=["first level", "L1 miss rate", "mispredict"],
+        )
+    )
+    print(
+        "\nDirect-mapped first-level conflicts equal address-indexed "
+        "second-level aliasing (paper section 5): "
+        f"{aliasing_rate(make_predictor_spec('bimodal', cols=1024), trace):.2%}"
+        " for 1024 entries here."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Building a custom workload with the program-model API.
+
+The fourteen calibrated profiles cover the paper's benchmarks, but the
+workload layer is a general program model: this example defines a new
+profile from scratch (an imagined database-engine trace with a large
+static branch population and heavy bias), generates it, characterizes
+it Table-1 style, and checks which predictor family suits it.
+
+Run::
+
+    python examples/custom_workload.py
+"""
+
+from repro import characterize, make_predictor_spec, simulate
+from repro.traces.stats import frequency_breakdown
+from repro.utils.tables import format_table
+from repro.workloads import build_program, generate_trace
+from repro.workloads.profiles import (
+    BehaviorMix,
+    WorkloadProfile,
+    derive_buckets,
+)
+
+
+def main() -> None:
+    profile = WorkloadProfile(
+        name="dbengine",
+        suite="custom",
+        # 8000 executed static branches, ~900 covering 90% of instances.
+        buckets=derive_buckets(8000, 900),
+        branch_fraction=0.15,
+        paper_static_branches=8000,
+        paper_branches_for_90pct=900,
+        paper_dynamic_branches=50_000_000,
+        behavior_mix=BehaviorMix(
+            biased_taken=0.46,
+            biased_not_taken=0.30,
+            moderate=0.10,
+            pattern=0.07,
+            correlated=0.07,
+        ),
+        body_size_range=(4, 14),
+        trip_count_range=(2.0, 12.0),
+        num_phases=8,
+        kernel_fraction=0.30,  # syscall-heavy workload
+    )
+
+    program = build_program(profile, seed=1)
+    print(program.describe())
+    trace = generate_trace(program, length=150_000, seed=1)
+
+    stats = characterize(trace)
+    breakdown = frequency_breakdown(trace)
+    print(
+        f"\nstatic={stats.static_branches} 90%-cover="
+        f"{stats.branches_for_90pct} taken={stats.taken_rate:.1%} "
+        f"buckets={breakdown.branch_counts}\n"
+    )
+
+    rows = []
+    for label, spec in [
+        ("address-indexed 4k", make_predictor_spec("bimodal", cols=4096)),
+        ("gshare 2^3x2^9", make_predictor_spec("gshare", rows=512, cols=8)),
+        ("PAs(2k) 2^3x2^9", make_predictor_spec(
+            "pas", rows=512, cols=8, bht_entries=2048)),
+    ]:
+        result = simulate(spec, trace)
+        rows.append([label, f"{result.misprediction_rate:.2%}"])
+    print(format_table(rows, headers=["predictor", "mispredict"]))
+    print(
+        "\nA branch-rich workload behaves like the paper's IBS traces: "
+        "keep the address bits, or move the budget into a PAs first "
+        "level."
+    )
+
+
+if __name__ == "__main__":
+    main()

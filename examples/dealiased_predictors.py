@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Beyond the paper: the de-aliased designs its conclusions motivated.
+
+The paper ends by predicting that "controlling aliasing will be the
+key to improving prediction accuracy". This example runs the designs
+published in the following two years — agree, bi-mode, gskew, and a
+McFarling tournament — against plain gshare at an equal second-level
+budget, across three benchmarks of increasing branch count, to show
+the prediction coming true exactly where the paper says it should:
+the more aliasing, the bigger the de-aliased win.
+
+Run::
+
+    python examples/dealiased_predictors.py [length]
+"""
+
+import sys
+
+from repro import make_predictor_spec, make_workload, simulate
+from repro.aliasing import aliasing_rate
+from repro.utils.tables import format_table
+
+BUDGET_BITS = 10  # 1024 counters per direction structure
+
+
+def contenders():
+    rows = 1 << BUDGET_BITS
+    return [
+        ("gshare", make_predictor_spec("gshare", rows=rows)),
+        ("agree", make_predictor_spec("agree", rows=rows)),
+        ("bimode", make_predictor_spec("bimode", rows=rows // 2)),
+        ("gskew", make_predictor_spec("gskew", rows=rows)),
+        (
+            "tournament",
+            make_predictor_spec(
+                "tournament",
+                component_a=make_predictor_spec("bimodal", cols=rows // 2),
+                component_b=make_predictor_spec("gshare", rows=rows // 2),
+                chooser_rows=rows // 2,
+            ),
+        ),
+    ]
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    benchmarks = ("compress", "mpeg_play", "real_gcc")
+
+    headers = ["benchmark", "gshare aliasing"] + [
+        label for label, _ in contenders()
+    ]
+    rows = []
+    for benchmark in benchmarks:
+        trace = make_workload(benchmark, length=length, seed=3)
+        gshare_spec = make_predictor_spec("gshare", rows=1 << BUDGET_BITS)
+        row = [benchmark, f"{aliasing_rate(gshare_spec, trace):.1%}"]
+        for _, spec in contenders():
+            result = simulate(spec, trace)
+            row.append(f"{result.misprediction_rate:.2%}")
+        rows.append(row)
+
+    print(f"{1 << BUDGET_BITS}-counter budget, {length} branches each\n")
+    print(format_table(rows, headers=headers))
+    print(
+        "\nExpected shape: on compress (few branches, little aliasing) "
+        "the designs are within noise of gshare; as the static branch "
+        "population grows, the de-aliased designs pull ahead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the paper's Figure 4/6 methodology.
+
+For a chosen benchmark, sweep every column/row split of several counter
+budgets for GAs and gshare, render the two surfaces, and report each
+tier's best configuration — i.e. answer the architect's question the
+paper poses: *given this many counters, how should I shape the table?*
+
+Run::
+
+    python examples/design_space_exploration.py [benchmark] [length]
+"""
+
+import sys
+
+from repro import make_workload
+from repro.analysis import render_surface
+from repro.sim import sweep_tiers
+from repro.utils.tables import format_table
+
+SIZE_BITS = (6, 8, 10, 12, 14)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "real_gcc"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+
+    trace = make_workload(benchmark, length=length, seed=7)
+    print(f"Sweeping GAs and gshare on {benchmark} ({length} branches)\n")
+
+    surfaces = {}
+    for scheme in ("gas", "gshare"):
+        surfaces[scheme] = sweep_tiers(scheme, trace, size_bits=SIZE_BITS)
+        print(render_surface(surfaces[scheme]))
+        print()
+
+    rows = []
+    for n in SIZE_BITS:
+        gas_best = surfaces["gas"].best_in_tier(n)
+        gshare_best = surfaces["gshare"].best_in_tier(n)
+        winner = (
+            "gshare"
+            if gshare_best.misprediction_rate < gas_best.misprediction_rate
+            else "GAs"
+        )
+        rows.append(
+            [
+                f"2^{n}",
+                f"{gas_best.size_label} ({gas_best.misprediction_rate:.2%})",
+                f"{gshare_best.size_label} "
+                f"({gshare_best.misprediction_rate:.2%})",
+                winner,
+            ]
+        )
+    print("Best configuration per budget (paper Table 3 style):")
+    print(
+        format_table(
+            rows, headers=["counters", "GAs best", "gshare best", "winner"]
+        )
+    )
+    print(
+        "\nReading the surfaces: for branch-rich benchmarks the small-"
+        "table best sits at the address-indexed edge (r=0); rows only "
+        "pay off once the table is large enough that aliasing is tamed."
+    )
+
+
+if __name__ == "__main__":
+    main()

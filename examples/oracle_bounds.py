@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Oracle bounds: how much is each kind of information worth?
+
+For each benchmark, four offline oracles floor the misprediction rate
+achievable from a given information source:
+
+* prophet        — 0 by definition (normalization anchor);
+* majority       — the best per-branch *static* direction;
+* self_pattern   — per-(branch, own-history) majority: the PAs ceiling;
+* global_pattern — per-(branch, global-history) majority: the
+                   GAs/gshare ceiling.
+
+The realizable schemes are then placed against their ceilings: the gap
+between a scheme and its oracle is the cost of finite tables (aliasing
+plus training) — the quantity the paper's whole analysis is about.
+
+Run::
+
+    python examples/oracle_bounds.py [length]
+"""
+
+import sys
+
+from repro import make_predictor_spec, make_workload, simulate
+from repro.predictors.oracle import information_bounds
+from repro.utils.tables import format_table
+
+BENCHMARKS = ("espresso", "mpeg_play", "real_gcc")
+HISTORY_BITS = 10
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+
+    headers = [
+        "benchmark",
+        "majority",
+        "self oracle",
+        "global oracle",
+        "PAs(inf) 2^10",
+        "gap to ceiling",
+        "gshare 2^10",
+        "gap to ceiling",
+    ]
+    rows = []
+    for name in BENCHMARKS:
+        trace = make_workload(name, length=length, seed=9)
+        bounds = information_bounds(trace, history_bits=HISTORY_BITS)
+        pas = simulate(
+            make_predictor_spec("pag", rows=1 << HISTORY_BITS), trace
+        ).misprediction_rate
+        gshare = simulate(
+            make_predictor_spec("gshare", rows=1 << HISTORY_BITS), trace
+        ).misprediction_rate
+        rows.append(
+            [
+                name,
+                f"{bounds['majority']:.2%}",
+                f"{bounds['self_pattern']:.2%}",
+                f"{bounds['global_pattern']:.2%}",
+                f"{pas:.2%}",
+                f"{pas - bounds['self_pattern']:+.2%}",
+                f"{gshare:.2%}",
+                f"{gshare - bounds['global_pattern']:+.2%}",
+            ]
+        )
+    print(f"{HISTORY_BITS}-bit windows, {length} branches each\n")
+    print(format_table(rows, headers=headers))
+    print(
+        "\nRead the gaps: PAs runs close to its information ceiling "
+        "(per-branch registers cannot alias in the second level), "
+        "while single-column gshare sits far above its own — that "
+        "distance is the aliasing the paper measures."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a handful of predictors on one benchmark.
+
+Run::
+
+    python examples/quickstart.py [benchmark] [length]
+
+Generates a calibrated synthetic trace (default: mpeg_play, 200k
+conditional branches), simulates the paper's main predictor families on
+it, and prints their misprediction rates side by side.
+"""
+
+import sys
+
+from repro import make_predictor_spec, make_workload, simulate
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mpeg_play"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+
+    print(f"Generating {benchmark} trace ({length} conditional branches)...")
+    trace = make_workload(benchmark, length=length, seed=42)
+    print(
+        f"  {trace.num_static_branches} static branches, "
+        f"{trace.taken_rate:.1%} taken\n"
+    )
+
+    # A representative slice of the paper's design space, all at a
+    # 4096-counter second level.
+    specs = [
+        ("always taken", make_predictor_spec("static", static_policy="taken")),
+        ("BTFN", make_predictor_spec("static", static_policy="btfn")),
+        ("address-indexed", make_predictor_spec("bimodal", cols=4096)),
+        ("GAg", make_predictor_spec("gag", rows=4096)),
+        ("GAs 2^4x2^8", make_predictor_spec("gas", rows=256, cols=16)),
+        ("gshare 2^4x2^8", make_predictor_spec("gshare", rows=256, cols=16)),
+        ("path 2^4x2^8", make_predictor_spec("path", rows=256, cols=16)),
+        ("PAs(inf) 2^4x2^8", make_predictor_spec("pas", rows=256, cols=16)),
+        (
+            "PAs(1k) 2^4x2^8",
+            make_predictor_spec(
+                "pas", rows=256, cols=16, bht_entries=1024, bht_assoc=4
+            ),
+        ),
+    ]
+
+    rows = []
+    for label, spec in specs:
+        result = simulate(spec, trace)
+        extra = (
+            f"{result.first_level_miss_rate:.2%}"
+            if result.first_level_miss_rate
+            else ""
+        )
+        rows.append(
+            [label, f"{result.misprediction_rate:.2%}", extra, result.engine]
+        )
+    print(
+        format_table(
+            rows,
+            headers=["predictor", "mispredict", "L1 miss", "engine"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

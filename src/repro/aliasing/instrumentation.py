@@ -1,0 +1,93 @@
+"""Conflict detection on counter-index streams."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.predictors.specs import PredictorSpec
+from repro.sim.results import TierPoint, TierSurface
+from repro.sim.sweep import SWEEPABLE_SCHEMES, spec_for_point
+from repro.sim.vectorized import index_stream
+from repro.traces.trace import BranchTrace
+
+
+def conflict_mask(indices: np.ndarray, pc: np.ndarray) -> np.ndarray:
+    """Per-access conflict flags (time order).
+
+    Access t conflicts when the previous access to the same counter
+    came from a different branch — the paper's direct-mapped-cache
+    analogy, computed with one stable sort: within the sorted-by-index
+    stream, neighbours are consecutive accesses to one counter.
+    """
+    if len(indices) != len(pc):
+        raise TraceError("indices and pc must have equal lengths")
+    total = len(indices)
+    conflicts = np.zeros(total, dtype=bool)
+    if total < 2:
+        return conflicts
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    sorted_pc = pc[order]
+    hit_same_counter = sorted_idx[1:] == sorted_idx[:-1]
+    from_other_branch = sorted_pc[1:] != sorted_pc[:-1]
+    sorted_conflicts = np.zeros(total, dtype=bool)
+    sorted_conflicts[1:] = hit_same_counter & from_other_branch
+    conflicts[order] = sorted_conflicts
+    return conflicts
+
+
+def aliasing_rate(spec: PredictorSpec, trace: BranchTrace) -> float:
+    """Fraction of accesses that conflict under ``spec``'s indexing.
+
+    For an address-indexed table this equals the first-level conflict
+    rate of an equally-sized direct-mapped history table (the identity
+    the paper uses in section 5: "the conflict rates in a direct mapped
+    first-level table are the same as the aliasing rates in an address
+    indexed second-level table").
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot measure aliasing on an empty trace")
+    indices = index_stream(spec, trace)
+    return float(np.count_nonzero(conflict_mask(indices, trace.pc))) / len(
+        trace
+    )
+
+
+def sweep_aliasing(
+    scheme: str,
+    trace: BranchTrace,
+    size_bits: Iterable[int],
+    measure_misprediction: bool = False,
+) -> TierSurface:
+    """Aliasing-rate surface over the paper's tier grid (Figure 5).
+
+    With ``measure_misprediction`` the points also carry misprediction
+    rates (so best-in-tier markers can be drawn on the aliasing
+    surface, as the paper does).
+    """
+    if scheme not in SWEEPABLE_SCHEMES:
+        raise TraceError(f"sweeps cover {SWEEPABLE_SCHEMES}, not {scheme!r}")
+    from repro.sim.engine import simulate  # local import: avoid cycle
+
+    surface = TierSurface(scheme=scheme, trace_name=trace.name)
+    for n in size_bits:
+        for row_bits in range(n + 1):
+            spec = spec_for_point(scheme, col_bits=n - row_bits,
+                                  row_bits=row_bits)
+            rate = aliasing_rate(spec, trace)
+            mispredict = float("nan")
+            if measure_misprediction:
+                mispredict = simulate(spec, trace).misprediction_rate
+            surface.add(
+                n,
+                TierPoint(
+                    col_bits=n - row_bits,
+                    row_bits=row_bits,
+                    misprediction_rate=mispredict,
+                    aliasing_rate=rate,
+                ),
+            )
+    return surface

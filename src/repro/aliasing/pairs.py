@@ -1,0 +1,123 @@
+"""Pairwise conflict attribution: who aliases with whom.
+
+Aggregate aliasing rates say *how much* interference a configuration
+suffers; this module says *between which branches*, which is what a
+designer needs to fix it (move a branch, add a column bit, hash
+differently). For each conflict (consecutive accesses to one counter
+from distinct branches) we charge the ordered (intruder -> victim)
+pair and report the heaviest pairs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.predictors.specs import PredictorSpec
+from repro.sim.vectorized import index_stream
+from repro.traces.trace import BranchTrace
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class ConflictPair:
+    """One intruder/victim pair with its conflict count."""
+
+    intruder_pc: int
+    victim_pc: int
+    conflicts: int
+    destructive: int
+
+    @property
+    def destructive_share(self) -> float:
+        if self.conflicts == 0:
+            return 0.0
+        return self.destructive / self.conflicts
+
+
+def conflict_pairs(
+    spec: PredictorSpec, trace: BranchTrace, top: int = 20
+) -> List[ConflictPair]:
+    """The ``top`` heaviest (intruder -> victim) conflict pairs.
+
+    The victim is the branch whose access finds the counter trained by
+    the intruder; a conflict is destructive when their directions
+    disagree at that access.
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot attribute conflicts on an empty trace")
+    indices = index_stream(spec, trace)
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    sorted_pc = trace.pc[order]
+    sorted_taken = trace.taken[order]
+
+    conflict = (sorted_idx[1:] == sorted_idx[:-1]) & (
+        sorted_pc[1:] != sorted_pc[:-1]
+    )
+    disagree = sorted_taken[1:] != sorted_taken[:-1]
+
+    totals: Counter = Counter()
+    destructive: Counter = Counter()
+    positions = np.flatnonzero(conflict)
+    for position in positions:
+        pair = (int(sorted_pc[position]), int(sorted_pc[position + 1]))
+        totals[pair] += 1
+        if disagree[position]:
+            destructive[pair] += 1
+
+    pairs = [
+        ConflictPair(
+            intruder_pc=intruder,
+            victim_pc=victim,
+            conflicts=count,
+            destructive=destructive[(intruder, victim)],
+        )
+        for (intruder, victim), count in totals.most_common(top)
+    ]
+    return pairs
+
+
+def pair_report(
+    spec: PredictorSpec, trace: BranchTrace, top: int = 10
+) -> str:
+    """Render the heaviest conflict pairs as a table."""
+    pairs = conflict_pairs(spec, trace, top=top)
+    rows = [
+        [
+            f"{p.intruder_pc:#x}",
+            f"{p.victim_pc:#x}",
+            p.conflicts,
+            f"{p.destructive_share:.0%}",
+        ]
+        for p in pairs
+    ]
+    return format_table(
+        rows,
+        headers=["intruder", "victim", "conflicts", "destructive"],
+    )
+
+
+def conflict_concentration(
+    spec: PredictorSpec, trace: BranchTrace, share: float = 0.5
+) -> Tuple[int, int]:
+    """(pairs covering ``share`` of conflicts, total pairs).
+
+    A small first element means a few pathological pairs dominate —
+    the case a better hash fixes; a large one means diffuse capacity
+    pressure — the case only a bigger table fixes.
+    """
+    pairs = conflict_pairs(spec, trace, top=1_000_000)
+    total = sum(p.conflicts for p in pairs)
+    if total == 0:
+        return (0, 0)
+    acc = 0
+    for i, pair in enumerate(pairs, start=1):
+        acc += pair.conflicts
+        if acc >= share * total:
+            return (i, len(pairs))
+    return (len(pairs), len(pairs))

@@ -1,0 +1,37 @@
+"""Text reports of aliasing measurements."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aliasing.classify import classify_conflicts
+from repro.predictors.specs import PredictorSpec
+from repro.traces.trace import BranchTrace
+from repro.utils.tables import format_table
+
+
+def aliasing_report(
+    specs: Sequence[PredictorSpec],
+    trace: BranchTrace,
+) -> str:
+    """Tabulate conflict statistics for several configurations."""
+    rows = []
+    for spec in specs:
+        stats = classify_conflicts(spec, trace)
+        rows.append(
+            [
+                spec.describe(),
+                f"{stats.aliasing_rate:.2%}",
+                f"{stats.harmless_share:.1%}",
+                f"{stats.destructive_rate:.2%}",
+            ]
+        )
+    return format_table(
+        rows,
+        headers=[
+            f"configuration ({trace.name})",
+            "aliasing",
+            "harmless share",
+            "destructive",
+        ],
+    )

@@ -1,0 +1,99 @@
+"""Text rendering of surfaces and series.
+
+The paper's 3-D bar surfaces become text grids: one row per tier
+(constant counter budget), one column per (columns x rows) split, the
+best-in-tier cell marked with ``*`` the way the paper blackens its best
+bars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.results import TierSurface
+from repro.utils.tables import format_table
+
+
+def render_surface(
+    surface: TierSurface,
+    value: str = "misprediction",
+    mark_best: bool = True,
+) -> str:
+    """Render one surface as a tier-by-configuration grid.
+
+    ``value`` selects ``misprediction`` or ``aliasing`` rates.
+    Columns are indexed by row_bits: the leftmost column is the
+    address-indexed edge, the rightmost the single-column edge —
+    matching the left-to-right orientation of the paper's figures.
+    """
+    if value not in ("misprediction", "aliasing"):
+        raise ConfigurationError(f"unknown value kind {value!r}")
+    sizes = surface.sizes
+    if not sizes:
+        raise ConfigurationError("cannot render an empty surface")
+    max_rows = max(p.row_bits for n in sizes for p in surface.tier(n))
+    headers = ["counters"] + [f"r={r}" for r in range(max_rows + 1)]
+    rows: List[List[str]] = []
+    for n in sizes:
+        row = [f"2^{n}"]
+        points = {p.row_bits: p for p in surface.tier(n)}
+        best = surface.best_in_tier(n) if mark_best else None
+        for r in range(max_rows + 1):
+            point = points.get(r)
+            if point is None:
+                row.append("")
+                continue
+            rate = (
+                point.misprediction_rate
+                if value == "misprediction"
+                else point.aliasing_rate
+            )
+            if rate is None or (isinstance(rate, float) and math.isnan(rate)):
+                row.append("-")
+                continue
+            cell = f"{rate * 100:.2f}"
+            if best is not None and point is best:
+                cell += "*"
+            row.append(cell)
+        rows.append(row)
+    title = (
+        f"{surface.scheme} {value} rates (%) on {surface.trace_name} — "
+        "columns: history/row bits r (cols = counters/2^r); * = best in tier"
+    )
+    return title + "\n" + format_table(rows, headers=headers)
+
+
+def render_surface_grid(
+    surfaces: Dict[str, TierSurface], value: str = "misprediction"
+) -> str:
+    """Render several named surfaces back to back."""
+    blocks = []
+    for name, surface in surfaces.items():
+        blocks.append(f"== {name} ==")
+        blocks.append(render_surface(surface, value=value))
+    return "\n".join(blocks)
+
+
+def render_series(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    title: str,
+    unit: str = "%",
+) -> str:
+    """Render named numeric series (Figure 2/3 style) as a table."""
+    if not series:
+        raise ConfigurationError("no series to render")
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} labels"
+            )
+        rows.append([name] + [f"{v * 100:.2f}" for v in values])
+    return (
+        f"{title} ({unit})\n"
+        + format_table(rows, headers=["benchmark"] + list(x_labels))
+    )

@@ -1,0 +1,87 @@
+"""Scheme-difference grids (the paper's Figures 7 and 8).
+
+Figure 7 plots, per identically-shaped configuration, gshare's
+misprediction minus GAs's (positive = gshare better, following the
+paper's sign convention "positive numbers indicate superior prediction
+by gshare"); Figure 8 does the same for Nair's path scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.results import TierSurface
+
+
+@dataclass
+class DiffGrid:
+    """Per-configuration rate differences between two surfaces.
+
+    ``cells[(n, row_bits)]`` holds ``base_rate - other_rate`` in
+    percentage points: positive values mean the *other* (challenger)
+    scheme predicted better, matching the paper's convention.
+    """
+
+    base_scheme: str
+    other_scheme: str
+    trace_name: str
+    cells: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def cell(self, n: int, row_bits: int) -> float:
+        try:
+            return self.cells[(n, row_bits)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no difference cell for tier 2^{n}, rows 2^{row_bits}"
+            ) from None
+
+    @property
+    def sizes(self) -> List[int]:
+        return sorted({n for n, _ in self.cells})
+
+    def positive_cells(self) -> List[Tuple[int, int]]:
+        """Configurations where the challenger wins."""
+        return [key for key, value in self.cells.items() if value > 0]
+
+    def mean_abs_difference(self) -> float:
+        if not self.cells:
+            raise ConfigurationError("empty difference grid")
+        return sum(abs(v) for v in self.cells.values()) / len(self.cells)
+
+
+def diff_surfaces(base: TierSurface, other: TierSurface) -> DiffGrid:
+    """Subtract two surfaces cell-by-cell (identical shapes required).
+
+    The shared ``row_bits = 0`` edge (address-indexed in both schemes)
+    is included and is zero by construction — the paper makes the same
+    observation about the leftmost configurations of its Figures 4/6.
+    """
+    if base.trace_name != other.trace_name:
+        raise ConfigurationError(
+            "difference grids need surfaces over the same trace, got "
+            f"{base.trace_name!r} vs {other.trace_name!r}"
+        )
+    grid = DiffGrid(
+        base_scheme=base.scheme,
+        other_scheme=other.scheme,
+        trace_name=base.trace_name,
+    )
+    if sorted(base.sizes) != sorted(other.sizes):
+        raise ConfigurationError(
+            f"tier mismatch: {base.sizes} vs {other.sizes}"
+        )
+    for n in base.sizes:
+        base_points = {p.row_bits: p for p in base.tier(n)}
+        other_points = {p.row_bits: p for p in other.tier(n)}
+        if set(base_points) != set(other_points):
+            raise ConfigurationError(
+                f"tier 2^{n} has mismatched configurations"
+            )
+        for row_bits, base_point in base_points.items():
+            grid.cells[(n, row_bits)] = (
+                base_point.misprediction_rate
+                - other_points[row_bits].misprediction_rate
+            ) * 100.0
+    return grid

@@ -1,0 +1,102 @@
+"""Convergence diagnostics: is a trace long enough?
+
+The paper ran 5M-340M branches per benchmark; this reproduction runs
+far fewer, so every reported rate carries a training transient and
+sampling noise. These helpers quantify both, so EXPERIMENTS.md can
+state — rather than assume — that the reproduced rates are converged:
+
+* :func:`windowed_rates` — misprediction over consecutive windows (the
+  training transient is visible as an elevated head);
+* :func:`steady_state_rate` — the tail estimate after the head is
+  discarded, with a binomial standard error;
+* :func:`convergence_report` — both, rendered.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+from repro.utils.tables import format_table
+
+
+def windowed_rates(
+    result: SimulationResult, windows: int = 10
+) -> List[float]:
+    """Misprediction rate over ``windows`` equal consecutive slices."""
+    if windows < 1:
+        raise ConfigurationError(f"windows must be >= 1, got {windows}")
+    if result.accesses < windows:
+        raise ConfigurationError(
+            f"cannot split {result.accesses} accesses into {windows} windows"
+        )
+    wrong = (result.predictions != result.taken).astype(np.float64)
+    bounds = np.linspace(0, result.accesses, windows + 1, dtype=np.int64)
+    return [
+        float(wrong[start:stop].mean())
+        for start, stop in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+@dataclass(frozen=True)
+class SteadyStateEstimate:
+    """Tail misprediction rate with its binomial standard error."""
+
+    rate: float
+    standard_error: float
+    tail_accesses: int
+    head_rate: float
+
+    @property
+    def training_transient(self) -> float:
+        """How much hotter the head ran than the converged tail."""
+        return self.head_rate - self.rate
+
+
+def steady_state_rate(
+    result: SimulationResult, head_fraction: float = 0.2
+) -> SteadyStateEstimate:
+    """Estimate the converged rate by discarding the training head."""
+    if not 0.0 < head_fraction < 1.0:
+        raise ConfigurationError(
+            f"head_fraction must be in (0, 1), got {head_fraction}"
+        )
+    split = int(result.accesses * head_fraction)
+    if split == 0 or split == result.accesses:
+        raise ConfigurationError("trace too short to split head from tail")
+    wrong = result.predictions != result.taken
+    head = float(np.count_nonzero(wrong[:split])) / split
+    tail_n = result.accesses - split
+    tail = float(np.count_nonzero(wrong[split:])) / tail_n
+    error = math.sqrt(max(tail * (1.0 - tail), 1e-12) / tail_n)
+    return SteadyStateEstimate(
+        rate=tail,
+        standard_error=error,
+        tail_accesses=tail_n,
+        head_rate=head,
+    )
+
+
+def convergence_report(
+    result: SimulationResult, windows: int = 10
+) -> str:
+    """Render windowed rates plus the steady-state estimate."""
+    rates = windowed_rates(result, windows)
+    estimate = steady_state_rate(result)
+    rows = [
+        [f"window {i + 1}/{windows}", f"{rate:.2%}"]
+        for i, rate in enumerate(rates)
+    ]
+    rows.append(["steady-state (tail)", f"{estimate.rate:.2%}"])
+    rows.append(["standard error", f"{estimate.standard_error:.3%}"])
+    rows.append(
+        ["training transient", f"{estimate.training_transient:+.2%}"]
+    )
+    return format_table(
+        rows, headers=[f"{result.spec.describe()}", "mispredict"]
+    )

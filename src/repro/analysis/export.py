@@ -1,0 +1,105 @@
+"""Exporting experiment data for external plotting.
+
+The ASCII renderings are self-contained, but the paper's 3-D surfaces
+are easier to inspect in a plotting tool; these helpers serialize
+surfaces, series, and difference grids to CSV (column-per-field) and
+JSON, with stable column orders so downstream scripts can rely on
+them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Sequence
+
+from repro.analysis.compare import DiffGrid
+from repro.errors import ConfigurationError
+from repro.sim.results import TierSurface
+
+
+def surface_to_rows(surface: TierSurface) -> list:
+    """Flatten a surface into dict rows (one per configuration)."""
+    rows = []
+    for n in surface.sizes:
+        best = surface.best_in_tier(n)
+        for point in surface.tier(n):
+            rows.append(
+                {
+                    "scheme": surface.scheme,
+                    "trace": surface.trace_name,
+                    "size_bits": n,
+                    "col_bits": point.col_bits,
+                    "row_bits": point.row_bits,
+                    "misprediction_rate": point.misprediction_rate,
+                    "aliasing_rate": point.aliasing_rate,
+                    "first_level_miss_rate": point.first_level_miss_rate,
+                    "is_best_in_tier": point is best,
+                }
+            )
+    return rows
+
+
+_SURFACE_FIELDS = (
+    "scheme",
+    "trace",
+    "size_bits",
+    "col_bits",
+    "row_bits",
+    "misprediction_rate",
+    "aliasing_rate",
+    "first_level_miss_rate",
+    "is_best_in_tier",
+)
+
+
+def surface_to_csv(surface: TierSurface) -> str:
+    """Serialize one surface to CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_SURFACE_FIELDS)
+    writer.writeheader()
+    for row in surface_to_rows(surface):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def surface_to_json(surface: TierSurface) -> str:
+    """Serialize one surface to a JSON array of configuration rows."""
+    return json.dumps(surface_to_rows(surface), indent=2)
+
+
+def series_to_csv(
+    series: Dict[str, Sequence[float]], x_labels: Sequence[str]
+) -> str:
+    """Serialize Figure-2/3 style series: one row per (name, x)."""
+    if not series:
+        raise ConfigurationError("no series to export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["name", "x", "rate"])
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} labels"
+            )
+        for label, value in zip(x_labels, values):
+            writer.writerow([name, label, value])
+    return buffer.getvalue()
+
+
+def diff_grid_to_csv(grid: DiffGrid) -> str:
+    """Serialize a Figure-7/8 difference grid."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["base", "other", "trace", "size_bits", "row_bits",
+         "difference_points"]
+    )
+    for (n, row_bits), value in sorted(grid.cells.items()):
+        writer.writerow(
+            [grid.base_scheme, grid.other_scheme, grid.trace_name, n,
+             row_bits, value]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,55 @@
+"""Derived misprediction metrics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+
+def per_branch_misprediction(
+    result: SimulationResult, pc: np.ndarray
+) -> Dict[int, float]:
+    """Misprediction rate per static branch.
+
+    ``pc`` must be the trace's PC array (the result object stores only
+    predictions and outcomes).
+    """
+    if len(pc) != result.accesses:
+        raise ConfigurationError(
+            "pc array does not match the simulated trace length"
+        )
+    wrong = result.predictions != result.taken
+    pcs, inverse = np.unique(pc, return_inverse=True)
+    totals = np.bincount(inverse, minlength=len(pcs))
+    misses = np.bincount(inverse, weights=wrong, minlength=len(pcs))
+    return {
+        int(p): float(m) / int(t) for p, m, t in zip(pcs, misses, totals)
+    }
+
+
+def warmup_trimmed_rate(
+    result: SimulationResult, warmup_fraction: float = 0.1
+) -> float:
+    """Misprediction rate with the initial training transient removed.
+
+    The paper's traces are long enough that cold-start training is
+    negligible; at reproduction-scale lengths the first few percent of
+    accesses still carry it, so experiments report both raw and
+    warmup-trimmed rates.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigurationError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    start = int(result.accesses * warmup_fraction)
+    tail_predictions = result.predictions[start:]
+    tail_taken = result.taken[start:]
+    if len(tail_taken) == 0:
+        raise ConfigurationError("warmup trim left no accesses")
+    return float(
+        np.count_nonzero(tail_predictions != tail_taken)
+    ) / len(tail_taken)

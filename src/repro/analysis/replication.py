@@ -1,0 +1,131 @@
+"""Seed replication: error bars for simulated rates.
+
+The paper's introduction complains that prior studies "simulated a very
+limited number of configurations", making it "difficult to assess the
+significance of many of the performance differences reported". With a
+synthetic substrate we can do better than the paper itself: regenerate
+the workload under several seeds and report the across-seed spread, so
+any claimed difference can be checked against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.predictors.specs import PredictorSpec
+from repro.sim.engine import simulate
+from repro.utils.tables import format_table
+from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class ReplicatedRate:
+    """Across-seed statistics of one configuration's misprediction."""
+
+    spec: PredictorSpec
+    benchmark: str
+    rates: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.rates) / len(self.rates)
+
+    @property
+    def std(self) -> float:
+        if len(self.rates) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((r - mu) ** 2 for r in self.rates) / (len(self.rates) - 1)
+        return math.sqrt(var)
+
+    @property
+    def stderr(self) -> float:
+        return self.std / math.sqrt(len(self.rates))
+
+    def interval(self, z: float = 2.0) -> Tuple[float, float]:
+        """Mean ± z standard errors (z=2 ~ 95%)."""
+        return (self.mean - z * self.stderr, self.mean + z * self.stderr)
+
+
+def replicate_rate(
+    spec: PredictorSpec,
+    benchmark: str,
+    seeds: Sequence[int],
+    length: int,
+) -> ReplicatedRate:
+    """Simulate ``spec`` on ``benchmark`` regenerated under each seed."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    rates = []
+    for seed in seeds:
+        trace = make_workload(benchmark, length=length, seed=seed)
+        rates.append(simulate(spec, trace).misprediction_rate)
+    return ReplicatedRate(
+        spec=spec, benchmark=benchmark, rates=tuple(rates)
+    )
+
+
+def significant_difference(
+    a: ReplicatedRate, b: ReplicatedRate, z: float = 2.0
+) -> Optional[bool]:
+    """Whether a and b's means differ beyond combined error bars.
+
+    Returns True (a < b significantly), False (b < a significantly),
+    or None (the difference is within noise — the verdict the paper
+    says too many studies never checked for).
+    """
+    spread = z * math.sqrt(a.stderr**2 + b.stderr**2)
+    if a.mean + spread < b.mean:
+        return True
+    if b.mean + spread < a.mean:
+        return False
+    return None
+
+
+def replication_report(
+    results: Sequence[ReplicatedRate], z: float = 2.0
+) -> str:
+    """Tabulate replicated rates with their intervals."""
+    if not results:
+        raise ConfigurationError("no replicated rates to report")
+    rows = []
+    for result in results:
+        low, high = result.interval(z)
+        rows.append(
+            [
+                result.benchmark,
+                result.spec.describe(),
+                f"{result.mean:.2%}",
+                f"±{z * result.stderr:.2%}",
+                f"[{low:.2%}, {high:.2%}]",
+                len(result.rates),
+            ]
+        )
+    return format_table(
+        rows,
+        headers=["benchmark", "configuration", "mean", "halfwidth",
+                 "interval", "seeds"],
+    )
+
+
+def replicate_comparison(
+    spec_a: PredictorSpec,
+    spec_b: PredictorSpec,
+    benchmark: str,
+    seeds: Sequence[int],
+    length: int,
+) -> Tuple[ReplicatedRate, ReplicatedRate, Optional[bool]]:
+    """Replicate two configurations and test their difference."""
+    a = replicate_rate(spec_a, benchmark, seeds, length)
+    b = replicate_rate(spec_b, benchmark, seeds, length)
+    return a, b, significant_difference(a, b)
+
+
+def seeds_for(count: int, base: int = 100) -> List[int]:
+    """A conventional seed list for replication runs."""
+    if count < 1:
+        raise ConfigurationError(f"seed count must be >= 1, got {count}")
+    return [base + i for i in range(count)]

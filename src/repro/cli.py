@@ -1,0 +1,269 @@
+"""Command-line interface.
+
+Examples::
+
+    repro experiments                      # list regenerable artifacts
+    repro run fig4 --length 200000         # regenerate a figure
+    repro run table3 --benchmark espresso
+    repro workloads                        # list calibrated benchmarks
+    repro characterize mpeg_play           # Table-1 row for one trace
+    repro simulate --scheme gshare --rows 4096 --cols 4 \\
+        --benchmark real_gcc               # one-off simulation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Correlation and Aliasing in Dynamic Branch "
+            "Predictors' (Sechrest, Lee, Mudge; ISCA 1996)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment ids")
+    sub.add_parser("workloads", help="list calibrated benchmark workloads")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. fig4")
+    _add_trace_options(run)
+    run.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        metavar="N",
+        help="tier exponents (2^N counters); default: the paper's range",
+    )
+    run.add_argument(
+        "--export",
+        metavar="PATH",
+        help=(
+            "also write the experiment's data as CSV (surfaces, series "
+            "and difference grids; other artifacts are unsupported)"
+        ),
+    )
+
+    characterize = sub.add_parser(
+        "characterize", help="Table-1 style statistics for one workload"
+    )
+    characterize.add_argument("benchmark")
+    _add_trace_options(characterize, benchmark_flag=False)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="grade a workload trace against its profile"
+    )
+    calibrate.add_argument("benchmark")
+    _add_trace_options(calibrate, benchmark_flag=False)
+
+    generate = sub.add_parser(
+        "generate", help="materialize a workload trace into a trace store"
+    )
+    generate.add_argument("benchmark")
+    _add_trace_options(generate, benchmark_flag=False)
+    generate.add_argument(
+        "--store",
+        default=None,
+        help="store directory (default: ./traces or $REPRO_TRACE_STORE)",
+    )
+
+    simulate = sub.add_parser("simulate", help="simulate one configuration")
+    simulate.add_argument("--scheme", required=True)
+    simulate.add_argument("--rows", type=int, default=1)
+    simulate.add_argument("--cols", type=int, default=1)
+    simulate.add_argument("--bht-entries", type=int, default=None)
+    simulate.add_argument("--bht-assoc", type=int, default=4)
+    simulate.add_argument("--engine", default="auto",
+                          choices=("auto", "vectorized", "reference"))
+    _add_trace_options(simulate)
+    return parser
+
+
+def _add_trace_options(
+    parser: argparse.ArgumentParser, benchmark_flag: bool = True
+) -> None:
+    if benchmark_flag:
+        parser.add_argument(
+            "--benchmark",
+            action="append",
+            dest="benchmarks",
+            help="benchmark name (repeatable); default: experiment's own",
+        )
+    parser.add_argument("--length", type=int, default=None,
+                        help="dynamic conditional branches per trace")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    # Imports are local so `repro --version` stays fast.
+    if args.command == "experiments":
+        from repro.experiments.runner import experiment_title, list_experiments
+
+        for experiment_id in list_experiments():
+            print(f"{experiment_id:20s} {experiment_title(experiment_id)}")
+        return 0
+
+    if args.command == "workloads":
+        from repro.workloads.profiles import get_profile
+        from repro.workloads.registry import list_workloads
+
+        for name in list_workloads():
+            profile = get_profile(name)
+            print(
+                f"{name:12s} {profile.suite:10s} "
+                f"static={profile.static_branches:6d} "
+                f"90%-cover={profile.paper_branches_for_90pct}"
+            )
+        return 0
+
+    if args.command == "run":
+        from repro.experiments.base import (
+            DEFAULT_LENGTH,
+            DEFAULT_SIZE_BITS,
+            ExperimentOptions,
+        )
+        from repro.experiments.runner import run_experiment
+
+        options = ExperimentOptions(
+            length=args.length or DEFAULT_LENGTH,
+            seed=args.seed,
+            benchmarks=args.benchmarks,
+            size_bits=tuple(args.sizes) if args.sizes else DEFAULT_SIZE_BITS,
+        )
+        result = run_experiment(args.experiment, options)
+        result.show()
+        if args.export:
+            _export_result(result, args.export)
+        return 0
+
+    if args.command == "characterize":
+        from repro.traces.stats import characterize, frequency_breakdown
+        from repro.workloads.registry import make_workload
+
+        trace = make_workload(
+            args.benchmark, length=args.length, seed=args.seed
+        )
+        stats = characterize(trace)
+        breakdown = frequency_breakdown(trace)
+        print(f"benchmark           {stats.name}")
+        print(f"dynamic instrs      {stats.dynamic_instructions}")
+        print(f"dynamic branches    {stats.dynamic_branches}")
+        print(f"branch fraction     {stats.branch_fraction:.1%}")
+        print(f"static branches     {stats.static_branches}")
+        print(f"90% coverage        {stats.branches_for_90pct}")
+        print(f"taken rate          {stats.taken_rate:.1%}")
+        print(f"highly biased       {stats.highly_biased_fraction:.1%}")
+        print(f"50/40/9/1 buckets   {breakdown.branch_counts}")
+        return 0
+
+    if args.command == "calibrate":
+        from repro.experiments.base import DEFAULT_LENGTH
+        from repro.workloads.calibration import calibrate
+
+        report = calibrate(
+            args.benchmark,
+            length=args.length or DEFAULT_LENGTH,
+            seed=args.seed,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.command == "generate":
+        from repro.experiments.base import DEFAULT_LENGTH
+        from repro.workloads.store import TraceStore
+
+        store = TraceStore(args.store)
+        length = args.length or DEFAULT_LENGTH
+        cached = store.contains(args.benchmark, length, args.seed)
+        trace = store.get(args.benchmark, length, args.seed)
+        verb = "loaded" if cached else "generated"
+        print(
+            f"{verb} {trace.name}: {len(trace)} branches, "
+            f"{trace.num_static_branches} static -> "
+            f"{store._path(args.benchmark, length, args.seed, args.seed)}"
+        )
+        return 0
+
+    if args.command == "simulate":
+        from repro.experiments.base import DEFAULT_LENGTH
+        from repro.predictors.factory import make_predictor_spec
+        from repro.sim.engine import simulate
+        from repro.workloads.registry import make_workload
+
+        spec = make_predictor_spec(
+            args.scheme,
+            rows=args.rows,
+            cols=args.cols,
+            bht_entries=args.bht_entries,
+            bht_assoc=args.bht_assoc,
+        )
+        for benchmark in args.benchmarks or ["espresso"]:
+            trace = make_workload(
+                benchmark,
+                length=args.length or DEFAULT_LENGTH,
+                seed=args.seed,
+            )
+            result = simulate(spec, trace, engine=args.engine)
+            line = (
+                f"{benchmark:12s} {spec.describe():40s} "
+                f"mispredict={result.misprediction_rate:.2%}"
+            )
+            if result.first_level_miss_rate is not None:
+                line += f" L1-miss={result.first_level_miss_rate:.2%}"
+            print(line)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _export_result(result, path: str) -> None:
+    """Write an experiment's structured data as CSV where supported."""
+    from repro.analysis.export import (
+        diff_grid_to_csv,
+        series_to_csv,
+        surface_to_csv,
+    )
+    from repro.errors import ExperimentError
+
+    data = result.data
+    if "surfaces" in data:
+        text = "".join(
+            f"# {key}\n{surface_to_csv(surface)}"
+            for key, surface in data["surfaces"].items()
+        )
+    elif "series" in data:
+        labels = [f"2^{n}" for n in data["size_bits"]]
+        text = series_to_csv(data["series"], labels)
+    elif "grid" in data:
+        text = diff_grid_to_csv(data["grid"])
+    else:
+        raise ExperimentError(
+            f"experiment {result.experiment_id!r} has no CSV-exportable "
+            "data (only surfaces, series and difference grids export)"
+        )
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(text)
+    print(f"[exported {result.experiment_id} data to {path}]")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+Everything raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library errors without also
+swallowing programming mistakes (``TypeError``, ``KeyError``, ...).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A predictor, workload, or experiment was configured inconsistently.
+
+    Examples: a two-level table whose row and column bits do not add up to
+    the requested size, a negative history length, or an unknown scheme name.
+    """
+
+
+class TraceError(ReproError):
+    """A branch trace is malformed or incompatible with the requested use.
+
+    Examples: mismatched array lengths, a trace file with missing fields,
+    or an empty trace handed to an experiment that needs data.
+    """
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload profile is invalid or unknown."""
+
+
+class ExperimentError(ReproError):
+    """An experiment could not be assembled or executed."""

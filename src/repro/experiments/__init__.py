@@ -1,0 +1,24 @@
+"""Experiments: one module per paper table/figure, plus ablations.
+
+Every experiment module exposes ``run(**options) -> ExperimentResult``
+and registers itself with :mod:`repro.experiments.runner`; the CLI
+(``python -m repro run <id>``) and the benchmark harness
+(``benchmarks/bench_<id>.py``) both go through that registry.
+
+See DESIGN.md's per-experiment index for the artifact-to-module map.
+"""
+
+from repro.experiments.base import ExperimentOptions, ExperimentResult
+from repro.experiments.runner import (
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentOptions",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,69 @@
+"""Ablation: from misprediction rate to cycles (paper §2).
+
+The paper deliberately stops at misprediction rates, citing the
+studies that map rates to performance. This ablation closes that loop
+with the standard branch-penalty pipeline model: the same predictor
+ranking, now expressed in IPC and speedup, on a machine whose
+parameters (width, flush depth, BTB) the reader can vary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentOptions, ExperimentResult
+from repro.pipeline.model import (
+    PipelineConfig,
+    evaluate_pipeline,
+    pipeline_report,
+)
+from repro.predictors.factory import make_predictor_spec
+from repro.sim.engine import simulate
+
+EXPERIMENT_ID = "ablation_pipeline"
+TITLE = "Pipeline-level cost of misprediction (paper section 2)"
+
+DEFAULT_BENCHMARKS = ("mpeg_play", "real_gcc")
+
+
+def _contenders(budget_bits: int = 12):
+    rows = 1 << budget_bits
+    return [
+        ("static taken", make_predictor_spec("static")),
+        ("bimodal", make_predictor_spec("bimodal", cols=rows)),
+        ("gshare best-shape", make_predictor_spec(
+            "gshare", rows=rows // 8, cols=8)),
+        ("PAs(1k)", make_predictor_spec(
+            "pas", rows=rows // 8, cols=8, bht_entries=1024)),
+    ]
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    options = options or ExperimentOptions()
+    benchmarks = options.resolve_benchmarks(DEFAULT_BENCHMARKS)
+    config = PipelineConfig()
+
+    blocks = []
+    data = {}
+    for name in benchmarks:
+        trace = options.trace(name)
+        labeled = []
+        for label, spec in _contenders():
+            result = simulate(spec, trace)
+            metrics = evaluate_pipeline(result, trace, config)
+            labeled.append((label, metrics))
+            data[(name, label)] = metrics
+        blocks.append(f"--- {name} ---\n" + pipeline_report(labeled, config))
+    note = (
+        "\nSpeedups are relative to static-taken. The rate differences "
+        "of Table 3 compound through branch density: a benchmark at "
+        "~13% branches converts each point of misprediction into "
+        "roughly 0.01 CPI at these machine parameters."
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n\n".join(blocks) + note,
+        data=data,
+        options=options,
+    )

@@ -1,0 +1,115 @@
+"""Ablation: what tagging the second level can and cannot fix.
+
+The paper equates second-level aliasing with direct-mapped cache
+conflicts, which invites the cache designer's reflex: add tags and
+associativity. This ablation runs that counterfactual both ways and
+gets a two-sided answer that explains why the post-paper de-aliased
+designs (agree/bi-mode/gskew) share counters cleverly instead of
+isolating them:
+
+* **address-indexed table, tag = branch** — the live-entry population
+  is the active branch set, which fits in a few thousand entries; tags
+  convert destructive conflicts into hits and the tagged table matches
+  or beats the direct-mapped one wherever it aliases.
+* **gshare-indexed table, tag = (history, branch) subcase** — the
+  live-entry population is the *subcase* set, orders of magnitude
+  larger than any affordable table; tags convert shared (partially
+  trained) counters into endless cold allocations, and accuracy gets
+  worse, not better.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aliasing.instrumentation import aliasing_rate
+from repro.experiments.base import ExperimentOptions, ExperimentResult
+from repro.predictors.factory import make_predictor_spec
+from repro.predictors.tagged_table import TaggedTablePredictor
+from repro.sim.engine import simulate
+from repro.sim.reference import simulate_reference
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "ablation_tagged"
+TITLE = "Tagged second-level tables: conflicts vs capacity"
+
+DEFAULT_BENCHMARKS = ("mpeg_play", "real_gcc")
+SIZES = (9, 11, 13)
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    options = options or ExperimentOptions()
+    benchmarks = options.resolve_benchmarks(DEFAULT_BENCHMARKS)
+
+    headers = [
+        "benchmark",
+        "entries",
+        "bimodal",
+        "bimodal aliasing",
+        "tagged-bimodal",
+        "gshare",
+        "tagged-gshare",
+        "tagged-gshare miss",
+    ]
+    rows = []
+    data = {}
+    for name in benchmarks:
+        trace = options.trace(name)
+        for n in SIZES:
+            entries = 1 << n
+            bimodal_spec = make_predictor_spec("bimodal", cols=entries)
+            bimodal_rate = simulate(bimodal_spec, trace).misprediction_rate
+            bimodal_alias = aliasing_rate(bimodal_spec, trace)
+
+            tagged_bimodal = TaggedTablePredictor(
+                entries=entries, assoc=4, history_bits=0
+            )
+            tagged_bimodal_rate = simulate_reference(
+                tagged_bimodal, trace
+            ).misprediction_rate
+
+            gshare_rate = simulate(
+                make_predictor_spec("gshare", rows=entries), trace
+            ).misprediction_rate
+
+            tagged_gshare = TaggedTablePredictor(
+                entries=entries, assoc=4, history_bits=min(n, 12)
+            )
+            tagged_gshare_rate = simulate_reference(
+                tagged_gshare, trace
+            ).misprediction_rate
+
+            rows.append(
+                [
+                    name,
+                    f"2^{n}",
+                    f"{bimodal_rate:.2%}",
+                    f"{bimodal_alias:.2%}",
+                    f"{tagged_bimodal_rate:.2%}",
+                    f"{gshare_rate:.2%}",
+                    f"{tagged_gshare_rate:.2%}",
+                    f"{tagged_gshare.miss_rate:.2%}",
+                ]
+            )
+            data[(name, n)] = {
+                "bimodal": bimodal_rate,
+                "bimodal_aliasing": bimodal_alias,
+                "tagged_bimodal": tagged_bimodal_rate,
+                "gshare": gshare_rate,
+                "tagged_gshare": tagged_gshare_rate,
+                "tagged_gshare_miss": tagged_gshare.miss_rate,
+            }
+    note = (
+        "\nTag-by-branch pays wherever the address-indexed table "
+        "aliases (small tables); tag-by-subcase drowns in capacity "
+        "misses at every size — the subcase population cannot be "
+        "isolated, only shared more cleverly, which is what "
+        "agree/bi-mode/gskew do (see ablation_dealias)."
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=format_table(rows, headers=headers) + note,
+        data=data,
+        options=options,
+    )

@@ -1,0 +1,65 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.traces.trace import BranchTrace
+from repro.workloads.profiles import FOCUS_BENCHMARKS, PROFILES
+from repro.workloads.registry import make_workload
+
+#: Default dynamic conditional-branch count per benchmark trace. The
+#: paper simulates 5M-340M branches per benchmark; rate statistics at
+#: the table sizes studied converge much earlier, and EXPERIMENTS.md
+#: records the scale used for each regenerated artifact.
+DEFAULT_LENGTH = 150_000
+
+#: Default tier exponents. The paper's figures span 2^4..2^15; the
+#: default skips nothing.
+DEFAULT_SIZE_BITS = tuple(range(4, 16))
+
+
+@dataclass
+class ExperimentOptions:
+    """Options shared by all experiments.
+
+    ``length``/``seed`` control trace generation; ``benchmarks`` and
+    ``size_bits`` default to whatever the paper used for the artifact
+    (each experiment module narrows them).
+    """
+
+    length: int = DEFAULT_LENGTH
+    seed: int = 0
+    benchmarks: Optional[Sequence[str]] = None
+    size_bits: Sequence[int] = DEFAULT_SIZE_BITS
+
+    def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:
+        names = list(self.benchmarks) if self.benchmarks else list(default)
+        for name in names:
+            if name not in PROFILES:
+                raise ExperimentError(f"unknown benchmark {name!r}")
+        return names
+
+    def trace(self, benchmark: str) -> BranchTrace:
+        return make_workload(benchmark, length=self.length, seed=self.seed)
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated artifact: rendered text plus structured data."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    options: Optional[ExperimentOptions] = None
+
+    def show(self) -> None:
+        """Print the rendered artifact (the CLI's output path)."""
+        print(f"# {self.experiment_id}: {self.title}")
+        print(self.text)
+
+
+FOCUS = FOCUS_BENCHMARKS

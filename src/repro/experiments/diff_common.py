@@ -1,0 +1,51 @@
+"""Shared driver for the difference-grid figures (7 and 8)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.compare import diff_surfaces
+from repro.experiments.base import ExperimentOptions, ExperimentResult
+from repro.sim.sweep import sweep_tiers
+from repro.utils.tables import format_table
+
+
+def diff_experiment(
+    experiment_id: str,
+    title: str,
+    base_scheme: str,
+    other_scheme: str,
+    benchmark: str,
+    options: Optional[ExperimentOptions],
+) -> ExperimentResult:
+    """Per-configuration rate difference, positive = challenger wins."""
+    options = options or ExperimentOptions()
+    names = options.resolve_benchmarks([benchmark])
+    trace = options.trace(names[0])
+
+    base = sweep_tiers(base_scheme, trace, size_bits=options.size_bits)
+    other = sweep_tiers(other_scheme, trace, size_bits=options.size_bits)
+    grid = diff_surfaces(base, other)
+
+    max_rows = max(options.size_bits)
+    headers = ["counters"] + [f"r={r}" for r in range(max_rows + 1)]
+    rows = []
+    for n in grid.sizes:
+        row = [f"2^{n}"]
+        for r in range(max_rows + 1):
+            row.append(f"{grid.cells[(n, r)]:+.2f}" if (n, r) in grid.cells
+                       else "")
+        rows.append(row)
+    text = (
+        f"{other_scheme} minus {base_scheme} on {names[0]} "
+        "(percentage points; positive = "
+        f"{other_scheme} better)\n"
+        + format_table(rows, headers=headers)
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        text=text,
+        data={"grid": grid, "base": base, "other": other},
+        options=options,
+    )

@@ -1,0 +1,28 @@
+"""Figure 4: GAs misprediction surfaces for espresso, mpeg_play,
+real_gcc.
+
+Every tier (constant 2^n counters, n in the requested range) is swept
+across all column/row splits, from the address-indexed edge to GAg.
+Shape findings: espresso's best-in-tier configurations sit toward the
+row-heavy side even for modest tables; for mpeg_play and real_gcc the
+small-table best is the pure address-indexed edge and rows only start
+paying off in large tables — because trading columns for rows raises
+aliasing (Figure 5) faster than correlation can pay it back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import FOCUS, ExperimentOptions, ExperimentResult
+from repro.experiments.surface_common import surface_experiment
+
+EXPERIMENT_ID = "fig4"
+TITLE = "GAs misprediction surfaces (paper Figure 4)"
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    return surface_experiment(
+        EXPERIMENT_ID, TITLE, scheme="gas", default_benchmarks=FOCUS,
+        options=options,
+    )

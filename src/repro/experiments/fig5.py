@@ -1,0 +1,44 @@
+"""Figure 5: aliasing-rate surfaces for GAs schemes.
+
+The companion of Figure 4: per configuration, the fraction of accesses
+whose counter was last touched by a different branch. The blackened
+best-in-tier positions of Figure 4 are reproduced here so the shape
+claim is visible: the best configurations track the aliasing cliff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.aliasing.instrumentation import sweep_aliasing
+from repro.analysis.ascii_plots import render_surface
+from repro.experiments.base import FOCUS, ExperimentOptions, ExperimentResult
+from repro.sim.results import TierSurface
+
+EXPERIMENT_ID = "fig5"
+TITLE = "GAs aliasing surfaces (paper Figure 5)"
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    options = options or ExperimentOptions()
+    benchmarks = options.resolve_benchmarks(FOCUS)
+
+    surfaces: Dict[str, TierSurface] = {}
+    blocks = []
+    for name in benchmarks:
+        trace = options.trace(name)
+        surface = sweep_aliasing(
+            "gas",
+            trace,
+            size_bits=options.size_bits,
+            measure_misprediction=True,
+        )
+        surfaces[name] = surface
+        blocks.append(render_surface(surface, value="aliasing"))
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n\n".join(blocks),
+        data={"surfaces": surfaces},
+        options=options,
+    )

@@ -1,0 +1,24 @@
+"""Figure 6: gshare misprediction surfaces.
+
+Same grid as Figure 4 with McFarling's XOR row selection. Shape
+findings: the surfaces are nearly identical to GAs; single-column
+configurations (the only ones many later studies evaluated) are fine
+for espresso but suboptimal for the large benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import FOCUS, ExperimentOptions, ExperimentResult
+from repro.experiments.surface_common import surface_experiment
+
+EXPERIMENT_ID = "fig6"
+TITLE = "gshare misprediction surfaces (paper Figure 6)"
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    return surface_experiment(
+        EXPERIMENT_ID, TITLE, scheme="gshare", default_benchmarks=FOCUS,
+        options=options,
+    )

@@ -1,0 +1,29 @@
+"""Figure 7: gshare minus GAs for identically configured tables
+(mpeg_play).
+
+Paper findings reproduced as shape checks: the differences are small;
+gshare's wins cluster in the row-heavy configurations (where GAs
+aliasing is worst, and which are suboptimal for both schemes anyway);
+near the best-performing middle the two schemes barely differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentOptions, ExperimentResult
+from repro.experiments.diff_common import diff_experiment
+
+EXPERIMENT_ID = "fig7"
+TITLE = "gshare vs GAs difference grid (paper Figure 7)"
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    return diff_experiment(
+        EXPERIMENT_ID,
+        TITLE,
+        base_scheme="gas",
+        other_scheme="gshare",
+        benchmark="mpeg_play",
+        options=options,
+    )

@@ -1,0 +1,28 @@
+"""Figure 8: Nair's path scheme minus GAs (mpeg_play).
+
+Paper findings: the path encoding helps only in few-column
+configurations; with equal rows and columns or more rows than columns
+it does slightly worse than GAs, because spending q bits per
+control-flow event shortens the register's reach.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import ExperimentOptions, ExperimentResult
+from repro.experiments.diff_common import diff_experiment
+
+EXPERIMENT_ID = "fig8"
+TITLE = "path vs GAs difference grid (paper Figure 8)"
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    return diff_experiment(
+        EXPERIMENT_ID,
+        TITLE,
+        base_scheme="gas",
+        other_scheme="path",
+        benchmark="mpeg_play",
+        options=options,
+    )

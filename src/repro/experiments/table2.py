@@ -1,0 +1,53 @@
+"""Table 2: branch execution frequency for three benchmarks.
+
+The paper partitions each benchmark's static branches, hottest first,
+into the groups contributing the first 50%, next 40%, next 9% and
+remaining 1% of dynamic instances, reporting the branch count (and its
+share of the static population) per group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.base import FOCUS, ExperimentOptions, ExperimentResult
+from repro.traces.stats import frequency_breakdown
+from repro.utils.tables import format_table
+from repro.workloads.profiles import get_profile
+
+EXPERIMENT_ID = "table2"
+TITLE = "Branch execution frequency (paper Table 2)"
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    options = options or ExperimentOptions()
+    benchmarks = options.resolve_benchmarks(FOCUS)
+
+    headers = [
+        "benchmark",
+        "first 50%",
+        "next 40%",
+        "next 9%",
+        "last 1%",
+        "paper row",
+    ]
+    rows = []
+    data = {}
+    for name in benchmarks:
+        breakdown = frequency_breakdown(options.trace(name))
+        cells = [
+            f"{count} ({fraction:.1%})"
+            for count, fraction in zip(
+                breakdown.branch_counts, breakdown.fractions()
+            )
+        ]
+        paper = "/".join(str(b) for b in get_profile(name).buckets)
+        rows.append([name] + cells + [paper])
+        data[name] = breakdown
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text=format_table(rows, headers=headers),
+        data={"breakdowns": data},
+        options=options,
+    )

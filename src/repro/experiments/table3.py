@@ -1,0 +1,83 @@
+"""Table 3: best configurations for various predictor table sizes.
+
+For each focus benchmark, each scheme variant's best (columns x rows)
+split is reported for budgets of 512, 4096 and 32768 counters, with
+misprediction rates, plus the first-level miss rates of the bounded
+PAs variants — the paper's summary table and the source of its
+headline conclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.best_config import (
+    TABLE3_SIZE_BITS,
+    BestConfigRow,
+    best_configurations,
+)
+from repro.experiments.base import FOCUS, ExperimentOptions, ExperimentResult
+from repro.sim.results import TierSurface
+from repro.sim.sweep import sweep_tiers
+from repro.utils.tables import format_table
+
+EXPERIMENT_ID = "table3"
+TITLE = "Best configurations per table size (paper Table 3)"
+
+#: Scheme variants, in the paper's row order. PAs first levels: the
+#: paper uses 2k for mpeg_play/real_gcc and 1k for all three, plus the
+#: crippling 128-entry case; all are 4-way.
+VARIANTS = (
+    ("GAs", "gas", None),
+    ("gshare", "gshare", None),
+    ("PAs(inf)", "pas", None),
+    ("PAs(2k)", "pas", 2048),
+    ("PAs(1k)", "pas", 1024),
+    ("PAs(128)", "pas", 128),
+)
+
+
+def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
+    options = options or ExperimentOptions(size_bits=TABLE3_SIZE_BITS)
+    size_bits = [n for n in options.size_bits]
+    benchmarks = options.resolve_benchmarks(FOCUS)
+
+    blocks = []
+    all_rows: Dict[str, List[BestConfigRow]] = {}
+    for name in benchmarks:
+        trace = options.trace(name)
+        surfaces: Dict[str, TierSurface] = {}
+        for label, scheme, bht_entries in VARIANTS:
+            surfaces[label] = sweep_tiers(
+                scheme,
+                trace,
+                size_bits=size_bits,
+                bht_entries=bht_entries,
+                bht_assoc=4,
+            )
+        rows = best_configurations(name, surfaces, size_bits=size_bits)
+        all_rows[name] = rows
+
+        table_rows = []
+        for row in rows:
+            miss = (
+                f"{row.first_level_miss_rate:.2%}"
+                if row.first_level_miss_rate
+                else "—"
+            )
+            table_rows.append(
+                [row.predictor_label, miss] + row.cells(size_bits)
+            )
+        headers = ["predictor", "L1 miss"] + [
+            f"{1 << n} counters" for n in size_bits
+        ]
+        blocks.append(
+            f"--- {name} ---\n" + format_table(table_rows, headers=headers)
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        text="\n\n".join(blocks),
+        data={"rows": all_rows},
+        options=options,
+    )

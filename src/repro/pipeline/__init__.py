@@ -1,0 +1,38 @@
+"""Pipeline-level cost model.
+
+The paper restricts itself to misprediction rates but §2 is explicit
+about what those rates feed: "The performance penalty associated with
+branches will depend, among other factors, upon the density of
+branches within code, the instruction-level parallelism available and
+exploited, the depth of pipelines, and the availability or lack of
+availability of the branch target instruction." This subpackage
+implements that accounting — the standard branch-penalty model of the
+studies the paper cites [McFarlingHennessy86, CalderGrunwaldEmer95] —
+so misprediction differences can be read in cycles:
+
+* :class:`~repro.pipeline.btb.BranchTargetBuffer` — the "availability
+  of the branch target instruction": a tagged set-associative target
+  cache; a taken branch without a BTB entry pays a fetch redirect even
+  when its direction was predicted correctly.
+* :class:`~repro.pipeline.model.PipelineConfig` /
+  :func:`~repro.pipeline.model.evaluate_pipeline` — cycle accounting
+  over a simulation result: base issue cycles + misprediction flushes
+  + taken-branch fetch bubbles.
+"""
+
+from repro.pipeline.btb import BranchTargetBuffer, btb_hit_stream
+from repro.pipeline.model import (
+    PipelineConfig,
+    PipelineMetrics,
+    evaluate_pipeline,
+    pipeline_report,
+)
+
+__all__ = [
+    "BranchTargetBuffer",
+    "btb_hit_stream",
+    "PipelineConfig",
+    "PipelineMetrics",
+    "evaluate_pipeline",
+    "pipeline_report",
+]

@@ -1,0 +1,152 @@
+"""Cycle accounting over a simulated prediction stream.
+
+The model is the classic in-order branch-penalty decomposition:
+
+    cycles = ceil(instructions / issue_width)
+           + mispredictions x mispredict_penalty
+           + correctly-predicted taken branches without a BTB entry
+             x redirect_penalty
+
+A mispredicted branch flushes the pipeline back to fetch (depth-ish
+cycles). A correctly-predicted *taken* branch still needs its target
+address to steer fetch; without a BTB hit it pays the shorter redirect
+bubble. Not-taken branches fall through for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pipeline.btb import btb_hit_stream
+from repro.sim.results import SimulationResult
+from repro.traces.trace import BranchTrace
+from repro.utils.tables import format_table
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Machine parameters for the accounting model.
+
+    Defaults model a mid-1990s 4-wide machine with an 8-cycle branch
+    resolution (the class of machine the paper's MicroReport references
+    describe) and a 1K-entry 4-way BTB.
+    """
+
+    issue_width: int = 4
+    mispredict_penalty: int = 8
+    redirect_penalty: int = 2
+    btb_entries: int = 1024
+    btb_assoc: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.issue_width, "issue_width")
+        check_positive_int(self.mispredict_penalty, "mispredict_penalty")
+        if self.redirect_penalty < 0:
+            raise ConfigurationError("redirect_penalty must be >= 0")
+
+
+@dataclass(frozen=True)
+class PipelineMetrics:
+    """Cycle decomposition and the derived rates."""
+
+    instructions: int
+    branches: int
+    base_cycles: int
+    mispredict_cycles: int
+    redirect_cycles: int
+    mispredictions: int
+    btb_hit_rate: float
+
+    @property
+    def cycles(self) -> int:
+        return self.base_cycles + self.mispredict_cycles + self.redirect_cycles
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per thousand instructions."""
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def branch_overhead(self) -> float:
+        """Fraction of all cycles spent on branch penalties."""
+        return (self.mispredict_cycles + self.redirect_cycles) / self.cycles
+
+
+def evaluate_pipeline(
+    result: SimulationResult,
+    trace: BranchTrace,
+    config: PipelineConfig = PipelineConfig(),
+) -> PipelineMetrics:
+    """Account the cycles implied by one simulation result."""
+    if len(trace) != result.accesses:
+        raise ConfigurationError(
+            "trace does not match the simulated result length"
+        )
+    instructions = trace.instruction_count or len(trace)
+    wrong = result.predictions != result.taken
+    mispredictions = int(np.count_nonzero(wrong))
+
+    btb_hits = btb_hit_stream(
+        trace, entries=config.btb_entries, assoc=config.btb_assoc
+    )
+    # Correctly predicted taken branches without a resident target.
+    redirects = int(
+        np.count_nonzero(~wrong & trace.taken & ~btb_hits)
+    )
+    return PipelineMetrics(
+        instructions=instructions,
+        branches=len(trace),
+        base_cycles=math.ceil(instructions / config.issue_width),
+        mispredict_cycles=mispredictions * config.mispredict_penalty,
+        redirect_cycles=redirects * config.redirect_penalty,
+        mispredictions=mispredictions,
+        btb_hit_rate=float(np.mean(btb_hits)),
+    )
+
+
+def pipeline_report(
+    labeled_metrics: Sequence, config: PipelineConfig = PipelineConfig()
+) -> str:
+    """Tabulate (label, PipelineMetrics) pairs with speedups.
+
+    Speedups are relative to the first entry, which callers should make
+    their baseline predictor.
+    """
+    if not labeled_metrics:
+        raise ConfigurationError("nothing to report")
+    baseline_cycles = labeled_metrics[0][1].cycles
+    rows = []
+    for label, metrics in labeled_metrics:
+        rows.append(
+            [
+                label,
+                f"{metrics.ipc:.2f}",
+                f"{metrics.mpki:.1f}",
+                f"{metrics.branch_overhead:.1%}",
+                f"{baseline_cycles / metrics.cycles:.3f}x",
+            ]
+        )
+    header = (
+        f"pipeline: {config.issue_width}-wide, "
+        f"{config.mispredict_penalty}-cycle flush, "
+        f"{config.redirect_penalty}-cycle redirect, "
+        f"BTB {config.btb_entries}x{config.btb_assoc}-way"
+    )
+    return header + "\n" + format_table(
+        rows,
+        headers=["predictor", "IPC", "MPKI", "branch overhead", "speedup"],
+    )

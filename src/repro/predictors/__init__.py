@@ -1,0 +1,87 @@
+"""Branch predictors: the paper's full two-level design space.
+
+The paper's general model (its Figure 1) is a second-level table of
+saturating counters selected by *(row, column)*: the column comes from
+branch-address bits, the row from a first-level "row-selection box".
+Every scheme here is an instance of that model:
+
+=================  ===========================================  =========
+Scheme             Row selection                                Paper §
+=================  ===========================================  =========
+``bimodal``        none (single row, address-indexed)           §3, Fig 2
+``gag``            global history register, single column       §3, Fig 3
+``gas``            global history register + address columns    §4, Fig 4
+``gshare``         global history XOR address bits              §4, Fig 6
+``path``           concatenated target-address bits (Nair)      §4, Fig 8
+``pag``/``pas``    per-address history (perfect or finite BHT)  §5, Fig 9/10
+``gap``/``pap``    as above with a column per distinct branch   taxonomy
+=================  ===========================================  =========
+
+plus baselines (``static``) and the de-aliased/combined designs the
+paper's conclusions motivated (``tournament``, ``agree``, ``bimode``,
+``gskew``).
+
+Two parallel implementations exist: the scalar reference classes in this
+subpackage (obviously-correct, one branch at a time) and the vectorized
+engines in :mod:`repro.sim.vectorized`; tests assert they agree exactly.
+"""
+
+from repro.predictors.base import BranchPredictor, taxonomy_code
+from repro.predictors.bht import BranchHistoryTable, reset_history
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.counters import (
+    CounterBank,
+    SaturatingCounter,
+    counter_init_state,
+    counter_outputs,
+    counter_transitions,
+)
+from repro.predictors.dealiased import (
+    AgreePredictor,
+    BiModePredictor,
+    GskewPredictor,
+)
+from repro.predictors.factory import build_predictor, make_predictor_spec
+
+#: Friendlier alias for the top-level API (`repro.make_predictor`).
+make_predictor = build_predictor
+from repro.predictors.global_history import (
+    GApPredictor,
+    GlobalHistoryPredictor,
+)
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.path_based import PathBasedPredictor
+from repro.predictors.per_address import PApPredictor, PerAddressPredictor
+from repro.predictors.set_history import SetHistoryPredictor
+from repro.predictors.specs import PredictorSpec
+from repro.predictors.static_ import StaticPredictor
+from repro.predictors.tournament import TournamentPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "taxonomy_code",
+    "BranchHistoryTable",
+    "reset_history",
+    "BimodalPredictor",
+    "CounterBank",
+    "SaturatingCounter",
+    "counter_init_state",
+    "counter_outputs",
+    "counter_transitions",
+    "AgreePredictor",
+    "BiModePredictor",
+    "GskewPredictor",
+    "build_predictor",
+    "make_predictor",
+    "make_predictor_spec",
+    "GlobalHistoryPredictor",
+    "GApPredictor",
+    "GsharePredictor",
+    "PathBasedPredictor",
+    "PerAddressPredictor",
+    "PApPredictor",
+    "SetHistoryPredictor",
+    "PredictorSpec",
+    "StaticPredictor",
+    "TournamentPredictor",
+]

@@ -1,0 +1,79 @@
+"""The predictor interface and the Yeh–Patt taxonomy helper."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+
+class BranchPredictor(ABC):
+    """Interface every scalar predictor implements.
+
+    Trace-driven protocol, one dynamic branch at a time::
+
+        predicted = predictor.predict(pc, target)
+        predictor.update(pc, taken, target)
+
+    ``predict`` performs the table lookup (which, like the hardware it
+    models, may allocate first-level entries and touch LRU state) and
+    must be followed by the matching ``update``, which applies the
+    resolved outcome (counter training, history shifts). ``target`` is
+    the branch's *static taken-target*; path-based schemes consult the
+    targets of previous branches recorded by their own ``update``,
+    never the current one, and static BTFN uses it for its
+    backward/forward test.
+    """
+
+    #: Short scheme identifier, e.g. "gshare"; set by subclasses.
+    scheme: str = "abstract"
+
+    @abstractmethod
+    def predict(self, pc: int, target: int = 0) -> bool:
+        """Predict the branch at ``pc`` (True = taken)."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        """Record the resolved outcome of the branch at ``pc``."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the power-on state."""
+
+    @property
+    def storage_bits(self) -> int:
+        """Total predictor state in bits, for resource-equal comparisons.
+
+        Subclasses that model realistic storage override this; the
+        default reports 0 for idealized components (perfect histories).
+        """
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} scheme={self.scheme!r}>"
+
+
+def taxonomy_code(scheme: str, rows: int = 1, cols: int = 1) -> str:
+    """Render a scheme/shape as a Yeh–Patt three-letter code.
+
+    First letter: history kept globally (G) or per address (P); second:
+    adaptive second level (A); third: a single shared column (g), a set
+    of address-indexed columns (s), or a column per address (p). The
+    address-indexed table has no first level, so the paper simply calls
+    it "address-indexed"; we render it as the degenerate ``GAs`` row
+    configuration it is equivalent to.
+    """
+    letter3 = "g" if cols == 1 else "s"
+    if scheme in ("gag", "gas", "gshare", "path"):
+        return f"GA{letter3}"
+    if scheme == "gap":
+        return "GAp"
+    if scheme in ("pag", "pas"):
+        return f"PA{letter3}"
+    if scheme == "pap":
+        return "PAp"
+    if scheme in ("sag", "sas"):
+        return f"SA{letter3}"
+    if scheme == "bimodal":
+        return "address-indexed"
+    raise ConfigurationError(f"no taxonomy code for scheme {scheme!r}")

@@ -1,0 +1,209 @@
+"""De-aliased predictor designs (extension).
+
+The paper's closing claim — "controlling aliasing will be the key to
+improving prediction accuracy and taking advantage of inter-branch
+correlations in global schemes" — directly motivated a family of
+designs published over the following two years. We implement the three
+canonical ones so the repository can quantify that claim
+(``experiments.ablation_dealias``):
+
+* **agree** [Sprangle et al., ISCA'97]: counters predict whether the
+  branch *agrees with its bias bit* rather than its direction. Two
+  branches aliased to one counter usually both agree with their own
+  biases, so destructive interference becomes neutral or constructive.
+* **bi-mode** [Lee, Chen, Mudge, MICRO'97 — the same group as this
+  paper]: two gshare-indexed direction banks ("mostly taken" and
+  "mostly not-taken") plus an address-indexed choice table; branches of
+  opposite bias are steered to different banks and stop colliding.
+* **gskew** [Michaud, Seznec, Uhlig, ISCA'97]: three banks indexed by
+  different hashes of (history, address) with majority vote; two
+  branches colliding in one bank almost never collide in the others.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterBank
+from repro.predictors.global_history import GlobalHistoryRegister
+from repro.utils.bits import fold_xor, log2_exact
+from repro.utils.validation import check_power_of_two
+
+
+class AgreePredictor(BranchPredictor):
+    """gshare-indexed counters that predict agreement with a bias bit.
+
+    The bias bit is the branch's first observed direction, kept in an
+    address-indexed bit table (hardware stores it in the BTB; we use
+    2^c bias bits indexed like a bimodal table).
+    """
+
+    scheme = "agree"
+
+    def __init__(self, rows: int, bias_entries: int = 4096, counter_bits: int = 2):
+        check_power_of_two(rows, "rows")
+        check_power_of_two(bias_entries, "bias_entries")
+        self.rows = rows
+        self.bias_entries = bias_entries
+        self.history = GlobalHistoryRegister(bits=log2_exact(rows))
+        self._bank = CounterBank(rows, nbits=counter_bits)
+        self._row_mask = rows - 1
+        self._bias_mask = bias_entries - 1
+        self._bias: List[bool] = [True] * bias_entries
+        self._bias_set: List[bool] = [False] * bias_entries
+
+    def _index(self, pc: int) -> int:
+        return (self.history.value ^ (pc >> 2)) & self._row_mask
+
+    def _bias_index(self, pc: int) -> int:
+        return (pc >> 2) & self._bias_mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        agree = self._bank.predict(self._index(pc))
+        bias = self._bias[self._bias_index(pc)]
+        return bias if agree else not bias
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        bias_index = self._bias_index(pc)
+        if not self._bias_set[bias_index]:
+            # First encounter sets the bias bit to the observed
+            # direction; thereafter the counters track agreement.
+            self._bias[bias_index] = taken
+            self._bias_set[bias_index] = True
+        agreed = taken == self._bias[bias_index]
+        self._bank.update(self._index(pc), agreed)
+        self.history.record(taken)
+
+    def reset(self) -> None:
+        self._bank.reset()
+        self.history.reset()
+        self._bias = [True] * self.bias_entries
+        self._bias_set = [False] * self.bias_entries
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self._bank.storage_bits + self.bias_entries + self.history.bits
+        )
+
+
+class BiModePredictor(BranchPredictor):
+    """Two gshare direction banks steered by an address-indexed choice.
+
+    The choice table picks the bank; the *chosen* bank trains on every
+    outcome; the choice counter trains on the outcome except when it
+    mis-selected but the selected bank still predicted correctly (the
+    standard bi-mode partial-update rule, which keeps a bank's branches
+    homogeneous in bias).
+    """
+
+    scheme = "bimode"
+
+    def __init__(self, rows: int, choice_rows: int = 4096, counter_bits: int = 2):
+        check_power_of_two(rows, "rows")
+        check_power_of_two(choice_rows, "choice_rows")
+        self.rows = rows
+        self.choice_rows = choice_rows
+        self.history = GlobalHistoryRegister(bits=log2_exact(rows))
+        self._taken_bank = CounterBank(rows, nbits=counter_bits)
+        self._not_taken_bank = CounterBank(rows, nbits=counter_bits)
+        self._choice = CounterBank(choice_rows, nbits=counter_bits)
+        self._row_mask = rows - 1
+        self._choice_mask = choice_rows - 1
+
+    def _index(self, pc: int) -> int:
+        return (self.history.value ^ (pc >> 2)) & self._row_mask
+
+    def _choice_index(self, pc: int) -> int:
+        return (pc >> 2) & self._choice_mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        use_taken_bank = self._choice.predict(self._choice_index(pc))
+        bank = self._taken_bank if use_taken_bank else self._not_taken_bank
+        return bank.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        index = self._index(pc)
+        choice_index = self._choice_index(pc)
+        use_taken_bank = self._choice.predict(choice_index)
+        bank = self._taken_bank if use_taken_bank else self._not_taken_bank
+        bank_prediction = bank.predict(index)
+        bank.update(index, taken)
+        chose_correct_side = use_taken_bank == taken
+        if not (not chose_correct_side and bank_prediction == taken):
+            self._choice.update(choice_index, taken)
+        self.history.record(taken)
+
+    def reset(self) -> None:
+        self._taken_bank.reset()
+        self._not_taken_bank.reset()
+        self._choice.reset()
+        self.history.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self._taken_bank.storage_bits
+            + self._not_taken_bank.storage_bits
+            + self._choice.storage_bits
+            + self.history.bits
+        )
+
+
+class GskewPredictor(BranchPredictor):
+    """Three counter banks under skewed hashes with majority vote.
+
+    Bank 0 uses the gshare hash; banks 1 and 2 permute the address and
+    history contributions differently (XOR-folds with distinct
+    rotations), so a (history, address) pair colliding with another in
+    one bank is overwhelmingly likely to be conflict-free in the other
+    two. All banks train on every outcome (the "total update" policy).
+    """
+
+    scheme = "gskew"
+
+    def __init__(self, rows: int, counter_bits: int = 2):
+        check_power_of_two(rows, "rows")
+        self.rows = rows
+        self._row_bits = log2_exact(rows)
+        self.history = GlobalHistoryRegister(bits=self._row_bits)
+        self._banks = [CounterBank(rows, nbits=counter_bits) for _ in range(3)]
+        self._row_mask = rows - 1
+
+    def _indices(self, pc: int) -> List[int]:
+        word = pc >> 2
+        history = self.history.value
+        bits = max(self._row_bits, 1)
+        base = (history ^ word) & self._row_mask
+        skew1 = (
+            fold_xor(word, 2 * bits, bits) ^ ((history >> 1) | (history << (bits - 1)))
+        ) & self._row_mask
+        skew2 = (
+            fold_xor(history ^ (word >> 1), 2 * bits, bits) ^ word >> bits
+        ) & self._row_mask
+        return [base, skew1, skew2]
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        votes = sum(
+            bank.predict(index)
+            for bank, index in zip(self._banks, self._indices(pc))
+        )
+        return votes >= 2
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        for bank, index in zip(self._banks, self._indices(pc)):
+            bank.update(index, taken)
+        self.history.record(taken)
+
+    def reset(self) -> None:
+        for bank in self._banks:
+            bank.reset()
+        self.history.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return sum(b.storage_bits for b in self._banks) + self.history.bits
+
+
+__all__ = ["AgreePredictor", "BiModePredictor", "GskewPredictor"]

@@ -1,0 +1,125 @@
+"""Spec construction and scalar-predictor instantiation.
+
+``make_predictor_spec`` is the user-facing constructor (keyword
+arguments, helpful errors); ``build_predictor`` turns a spec into a
+scalar reference predictor. The vectorized engines dispatch on the same
+specs in :mod:`repro.sim.vectorized`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.dealiased import (
+    AgreePredictor,
+    BiModePredictor,
+    GskewPredictor,
+)
+from repro.predictors.global_history import (
+    GApPredictor,
+    GlobalHistoryPredictor,
+)
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.path_based import PathBasedPredictor
+from repro.predictors.per_address import PApPredictor, PerAddressPredictor
+from repro.predictors.set_history import SetHistoryPredictor
+from repro.predictors.specs import DEFAULT_SET_ENTRIES, PredictorSpec
+from repro.predictors.static_ import StaticPredictor
+from repro.predictors.tournament import TournamentPredictor
+
+
+def make_predictor_spec(
+    scheme: str,
+    rows: int = 1,
+    cols: int = 1,
+    counter_bits: int = 2,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    path_bits_per_branch: int = 2,
+    static_policy: str = "taken",
+    component_a: Optional[PredictorSpec] = None,
+    component_b: Optional[PredictorSpec] = None,
+    chooser_rows: int = 1024,
+) -> PredictorSpec:
+    """Build and validate a :class:`PredictorSpec`.
+
+    Scheme names: ``bimodal``, ``gag``, ``gas``, ``gap``, ``gshare``,
+    ``path``, ``pag``, ``pas``, ``pap``, ``static``, ``tournament``,
+    ``agree``, ``bimode``, ``gskew``. See
+    :class:`~repro.predictors.specs.PredictorSpec` for field meanings.
+    """
+    return PredictorSpec(
+        scheme=scheme,
+        rows=rows,
+        cols=cols,
+        counter_bits=counter_bits,
+        bht_entries=bht_entries,
+        bht_assoc=bht_assoc,
+        path_bits_per_branch=path_bits_per_branch,
+        static_policy=static_policy,
+        component_a=component_a,
+        component_b=component_b,
+        chooser_rows=chooser_rows,
+    )
+
+
+def build_predictor(spec: PredictorSpec) -> BranchPredictor:
+    """Instantiate the scalar reference predictor for ``spec``."""
+    scheme = spec.scheme
+    if scheme == "static":
+        return StaticPredictor(policy=spec.static_policy)
+    if scheme == "bimodal":
+        return BimodalPredictor(
+            counters=spec.cols, counter_bits=spec.counter_bits
+        )
+    if scheme in ("gag", "gas"):
+        return GlobalHistoryPredictor(
+            rows=spec.rows, cols=spec.cols, counter_bits=spec.counter_bits
+        )
+    if scheme == "gap":
+        return GApPredictor(rows=spec.rows, counter_bits=spec.counter_bits)
+    if scheme == "gshare":
+        return GsharePredictor(
+            rows=spec.rows, cols=spec.cols, counter_bits=spec.counter_bits
+        )
+    if scheme == "path":
+        return PathBasedPredictor(
+            rows=spec.rows,
+            cols=spec.cols,
+            bits_per_target=spec.path_bits_per_branch,
+            counter_bits=spec.counter_bits,
+        )
+    if scheme in ("pag", "pas"):
+        return PerAddressPredictor(
+            rows=spec.rows,
+            cols=spec.cols,
+            bht_entries=spec.bht_entries,
+            bht_assoc=spec.bht_assoc,
+            counter_bits=spec.counter_bits,
+        )
+    if scheme == "pap":
+        return PApPredictor(rows=spec.rows, counter_bits=spec.counter_bits)
+    if scheme in ("sag", "sas"):
+        return SetHistoryPredictor(
+            rows=spec.rows,
+            cols=spec.cols,
+            set_entries=spec.bht_entries or DEFAULT_SET_ENTRIES,
+            counter_bits=spec.counter_bits,
+        )
+    if scheme == "tournament":
+        return TournamentPredictor(
+            component_a=build_predictor(spec.component_a),
+            component_b=build_predictor(spec.component_b),
+            chooser_rows=spec.chooser_rows,
+            counter_bits=spec.counter_bits,
+        )
+    if scheme == "agree":
+        return AgreePredictor(rows=spec.rows, counter_bits=spec.counter_bits)
+    if scheme == "bimode":
+        return BiModePredictor(rows=spec.rows, counter_bits=spec.counter_bits)
+    if scheme == "gskew":
+        return GskewPredictor(rows=spec.rows, counter_bits=spec.counter_bits)
+    raise ConfigurationError(f"no builder for scheme {scheme!r}")

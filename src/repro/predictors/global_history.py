@@ -1,0 +1,121 @@
+"""Global-history two-level predictors: GAg, GAs, GAp.
+
+The row-selection box keeps a single global history register — the
+directions of the last h conditional branches, newest in the LSB. GAs
+uses low address bits to pick a column, GAg is the single-column
+special case, GAp keeps a private column per distinct branch address
+(the idealized endpoint of the taxonomy; unbounded storage).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterBank
+from repro.utils.bits import mask
+from repro.utils.validation import check_power_of_two
+
+
+class GlobalHistoryRegister:
+    """The shared h-bit direction history, newest outcome in bit 0."""
+
+    def __init__(self, bits: int):
+        self.bits = bits
+        self._mask = mask(bits)
+        self.value = 0
+
+    def record(self, taken: bool) -> None:
+        self.value = ((self.value << 1) | int(taken)) & self._mask
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class GlobalHistoryPredictor(BranchPredictor):
+    """GAs: 2^r rows selected by global history, 2^c address columns.
+
+    ``cols=1`` is GAg. Row index is the raw history value; column index
+    is ``(pc >> 2) & (cols - 1)``. The table is stored row-major
+    (``index = row * cols + col``).
+    """
+
+    scheme = "gas"
+
+    def __init__(self, rows: int, cols: int, counter_bits: int = 2):
+        check_power_of_two(rows, "rows")
+        check_power_of_two(cols, "cols")
+        self.rows = rows
+        self.cols = cols
+        self.history = GlobalHistoryRegister(bits=(rows - 1).bit_length())
+        self._bank = CounterBank(rows * cols, nbits=counter_bits)
+        self._row_mask = rows - 1
+        self._col_mask = cols - 1
+        if cols == 1:
+            self.scheme = "gag"
+
+    def _index(self, pc: int) -> int:
+        row = self.history.value & self._row_mask
+        col = (pc >> 2) & self._col_mask
+        return row * self.cols + col
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._bank.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self._bank.update(self._index(pc), taken)
+        self.history.record(taken)
+
+    def reset(self) -> None:
+        self._bank.reset()
+        self.history.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self._bank.storage_bits + self.history.bits
+
+
+class GApPredictor(BranchPredictor):
+    """GAp: global history rows, one private column per branch address.
+
+    Storage is unbounded (a column materializes on a branch's first
+    execution); the class exists to complete the taxonomy and to bound
+    from above what column resources could ever buy a global scheme.
+    """
+
+    scheme = "gap"
+
+    def __init__(self, rows: int, counter_bits: int = 2):
+        check_power_of_two(rows, "rows")
+        self.rows = rows
+        self.counter_bits = counter_bits
+        self.history = GlobalHistoryRegister(bits=(rows - 1).bit_length())
+        self._columns: Dict[int, CounterBank] = {}
+        self._row_mask = rows - 1
+
+    def _column(self, pc: int) -> CounterBank:
+        column = self._columns.get(pc)
+        if column is None:
+            column = CounterBank(self.rows, nbits=self.counter_bits)
+            self._columns[pc] = column
+        return column
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        row = self.history.value & self._row_mask
+        return self._column(pc).predict(row)
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        row = self.history.value & self._row_mask
+        self._column(pc).update(row, taken)
+        self.history.record(taken)
+
+    def reset(self) -> None:
+        self._columns.clear()
+        self.history.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            sum(c.storage_bits for c in self._columns.values())
+            + self.history.bits
+        )

@@ -1,0 +1,115 @@
+"""Oracle predictors: upper bounds for the realizable schemes.
+
+None of these are implementable in hardware — each is allowed to see
+the full trace before "predicting" — but they bound what different
+kinds of information could ever buy:
+
+* ``majority`` — per-branch majority direction: the best any *static*
+  (per-branch single-bit) assignment can do; the bound on
+  profile-guided static prediction [FisherFreudenberger92].
+* ``global_pattern`` / ``self_pattern`` — per-(branch, row-selection
+  pattern) majority: the ceiling of a two-level scheme with unlimited,
+  un-aliased counters and instant training, parameterized by the same
+  row-selection streams the real schemes use (the GAp and PAp oracles
+  respectively).
+* ``prophet`` — always right; anchors rate normalization.
+
+Oracles consume a whole trace at once (they are inherently offline), so
+their interface is :func:`oracle_predictions` rather than the scalar
+predict/update protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceError
+from repro.predictors.specs import PredictorSpec
+from repro.sim.results import SimulationResult
+from repro.sim.vectorized import (
+    global_history_stream,
+    per_address_history_stream,
+)
+from repro.traces.trace import BranchTrace
+
+ORACLE_KINDS = ("majority", "global_pattern", "self_pattern", "prophet")
+
+
+def _majority_by_key(key: np.ndarray, taken: np.ndarray) -> np.ndarray:
+    """Per-access prediction: the majority outcome of the access's key
+    group over the whole trace (ties predict taken)."""
+    _, inverse = np.unique(key, return_inverse=True)
+    votes_taken = np.bincount(inverse, weights=taken)
+    totals = np.bincount(inverse)
+    majority = votes_taken * 2 >= totals
+    return majority[inverse]
+
+
+def oracle_predictions(
+    kind: str,
+    trace: BranchTrace,
+    history_bits: int = 10,
+) -> np.ndarray:
+    """Per-access predictions of the requested oracle.
+
+    ``history_bits`` applies to the pattern oracles: the row-selection
+    window whose information content is being bounded.
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot run an oracle on an empty trace")
+    if kind == "prophet":
+        return trace.taken.copy()
+    if kind == "majority":
+        return _majority_by_key(trace.pc, trace.taken)
+    if kind == "global_pattern":
+        history = global_history_stream(trace.taken, history_bits)
+        key = (trace.pc.astype(np.int64) << 20) ^ history
+        return _majority_by_key(key, trace.taken)
+    if kind == "self_pattern":
+        history = per_address_history_stream(trace, history_bits)
+        key = (trace.pc.astype(np.int64) << 20) ^ history
+        return _majority_by_key(key, trace.taken)
+    raise ConfigurationError(
+        f"unknown oracle kind {kind!r}; known: {ORACLE_KINDS}"
+    )
+
+
+def oracle_result(
+    kind: str,
+    trace: BranchTrace,
+    history_bits: int = 10,
+) -> SimulationResult:
+    """Package an oracle's predictions as a SimulationResult."""
+    predictions = oracle_predictions(kind, trace, history_bits)
+    # Oracles have no PredictorSpec of their own; report them under a
+    # static spec so result containers stay uniform.
+    spec = PredictorSpec(scheme="static", static_policy="taken")
+    return SimulationResult(
+        spec=spec,
+        trace_name=trace.name,
+        predictions=predictions,
+        taken=trace.taken.copy(),
+        engine=f"oracle:{kind}",
+    )
+
+
+def information_bounds(
+    trace: BranchTrace, history_bits: int = 10
+) -> dict:
+    """Misprediction floors per information source, as a dict.
+
+    The gap between a real scheme and its oracle is the cost of finite
+    tables (aliasing + training); the gap between oracles is the value
+    of the information itself. Both decompositions are used by the
+    oracle-bounds example.
+    """
+    return {
+        kind: float(
+            np.count_nonzero(
+                oracle_predictions(kind, trace, history_bits)
+                != trace.taken
+            )
+        )
+        / len(trace)
+        for kind in ORACLE_KINDS
+    }

@@ -1,0 +1,92 @@
+"""Nair's path-based correlation predictor.
+
+Instead of recording branch *directions*, the row-selection register
+records a few low-order bits of the *target addresses* control flow
+recently passed through [Nair95]. Two different paths into a branch
+produce different registers even when the direction histories match,
+which attacks the pattern-merging failure mode; the cost — as Nair
+himself notes and the paper's Figure 8 confirms — is that encoding one
+control-flow event in q > 1 bits shortens the reach of the register.
+
+With 2^r rows and q bits per recorded target, the register holds the
+low q bits (above the word offset) of the last ceil(r/q) targets,
+newest in the low bits; the row index is the register masked to r bits,
+and columns are address-selected exactly as in GAs.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterBank
+from repro.utils.bits import log2_exact, mask
+from repro.utils.validation import check_positive_int, check_power_of_two
+
+
+class PathRegister:
+    """Shift register of low target-address bits."""
+
+    def __init__(self, bits: int, bits_per_target: int):
+        self.bits = bits
+        self.bits_per_target = bits_per_target
+        self._mask = mask(bits)
+        self._target_mask = mask(bits_per_target)
+        self.value = 0
+
+    def record(self, target: int) -> None:
+        chunk = (target >> 2) & self._target_mask
+        self.value = ((self.value << self.bits_per_target) | chunk) & self._mask
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class PathBasedPredictor(BranchPredictor):
+    """2^r rows selected by the path register, 2^c address columns."""
+
+    scheme = "path"
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        bits_per_target: int = 2,
+        counter_bits: int = 2,
+    ):
+        check_power_of_two(rows, "rows")
+        check_power_of_two(cols, "cols")
+        check_positive_int(bits_per_target, "bits_per_target")
+        row_bits = log2_exact(rows)
+        if bits_per_target > max(row_bits, 1):
+            raise ValueError(
+                f"bits_per_target ({bits_per_target}) exceeds row index "
+                f"width ({row_bits})"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.path = PathRegister(bits=row_bits, bits_per_target=bits_per_target)
+        self._bank = CounterBank(rows * cols, nbits=counter_bits)
+        self._row_mask = rows - 1
+        self._col_mask = cols - 1
+
+    def _index(self, pc: int) -> int:
+        row = self.path.value & self._row_mask
+        col = (pc >> 2) & self._col_mask
+        return row * self.cols + col
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._bank.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self._bank.update(self._index(pc), taken)
+        # The register records where control flow actually went: the
+        # branch target when taken, the fall-through otherwise.
+        went_to = target if taken else pc + 4
+        self.path.record(went_to)
+
+    def reset(self) -> None:
+        self._bank.reset()
+        self.path.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self._bank.storage_bits + self.path.bits

@@ -1,0 +1,89 @@
+"""Per-set history predictors: SAg and SAs.
+
+The middle option of Yeh and Patt's first-level taxonomy: history "kept
+for a set of addresses" (S). The first level is an *untagged* table of
+history registers indexed by branch-address bits — cheaper than the
+tagged PAs first level, but conflicts are silent: two branches mapping
+to one register interleave their outcomes into a single history.
+
+This makes SAs the sharpest illustration of the paper's first-level
+aliasing argument: where the tagged PAs table detects a conflict and
+resets to the neutral 0xC3FF prefix, the untagged table quietly
+pollutes, and the damage scales with exactly the conflict rate the
+paper equates to address-indexed second-level aliasing.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bht import reset_history
+from repro.predictors.counters import CounterBank
+from repro.utils.bits import log2_exact, mask
+from repro.utils.validation import check_power_of_two
+
+
+class SetHistoryPredictor(BranchPredictor):
+    """SAs: rows from a per-set history register, address columns.
+
+    ``cols=1`` is SAg. The first level holds ``set_entries`` untagged
+    history registers, indexed by ``(pc >> 2) & (set_entries - 1)`` and
+    initialized to the 0xC3FF prefix (the same neutral pattern the
+    paper uses for PAs resets, so cold registers are comparable).
+    """
+
+    scheme = "sas"
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        set_entries: int = 1024,
+        counter_bits: int = 2,
+    ):
+        check_power_of_two(rows, "rows")
+        check_power_of_two(cols, "cols")
+        check_power_of_two(set_entries, "set_entries")
+        self.rows = rows
+        self.cols = cols
+        self.set_entries = set_entries
+        self.history_bits = max(1, log2_exact(rows))
+        self._history_mask = mask(self.history_bits)
+        initial = reset_history(self.history_bits)
+        self._initial = initial
+        self._histories: List[int] = [initial] * set_entries
+        self._bank = CounterBank(rows * cols, nbits=counter_bits)
+        self._row_mask = rows - 1
+        self._col_mask = cols - 1
+        self._set_mask = set_entries - 1
+        if cols == 1:
+            self.scheme = "sag"
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) & self._set_mask
+
+    def _index(self, pc: int) -> int:
+        row = self._histories[self._set_index(pc)] & self._row_mask
+        col = (pc >> 2) & self._col_mask
+        return row * self.cols + col
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        return self._bank.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        self._bank.update(self._index(pc), taken)
+        set_index = self._set_index(pc)
+        self._histories[set_index] = (
+            (self._histories[set_index] << 1) | int(taken)
+        ) & self._history_mask
+
+    def reset(self) -> None:
+        self._bank.reset()
+        self._histories = [self._initial] * self.set_entries
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self._bank.storage_bits + self.set_entries * self.history_bits
+        )

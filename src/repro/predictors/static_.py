@@ -1,0 +1,46 @@
+"""Static (non-adaptive) baseline predictors.
+
+These anchor the bottom of the design space: any dynamic scheme that
+cannot beat always-taken is wasting its transistors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+
+
+class StaticPredictor(BranchPredictor):
+    """Fixed-policy predictor.
+
+    Policies:
+
+    * ``taken`` / ``not_taken`` — constant prediction;
+    * ``btfn`` — backward taken, forward not-taken: predict taken iff
+      the branch target is at a lower address than the branch (loops
+      branch backwards), the classic compiler-free static heuristic.
+    """
+
+    scheme = "static"
+
+    def __init__(self, policy: str = "taken"):
+        if policy not in ("taken", "not_taken", "btfn"):
+            raise ConfigurationError(f"unknown static policy {policy!r}")
+        self.policy = policy
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        if self.policy == "taken":
+            return True
+        if self.policy == "not_taken":
+            return False
+        return target < pc  # btfn
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        pass  # static predictors never learn
+
+    def reset(self) -> None:
+        pass
+
+    @property
+    def storage_bits(self) -> int:
+        return 0

@@ -1,0 +1,74 @@
+"""McFarling-style combining ("tournament") predictor.
+
+The paper's conclusion notes "recent work has begun to examine ways of
+combining schemes to provide more effective branch prediction"; this is
+that design [McFarling92]: two component predictors run side by side,
+and a table of 2-bit *chooser* counters — indexed by branch address —
+learns, per counter, which component to trust.
+
+Chooser training follows McFarling: the chooser moves only when exactly
+one component was correct, toward that component.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterBank
+from repro.utils.validation import check_power_of_two
+
+
+class TournamentPredictor(BranchPredictor):
+    """Chooser-combined pair of component predictors.
+
+    The chooser counter's MSB selects component B; it is incremented
+    when B alone is correct and decremented when A alone is correct.
+    """
+
+    scheme = "tournament"
+
+    def __init__(
+        self,
+        component_a: BranchPredictor,
+        component_b: BranchPredictor,
+        chooser_rows: int = 1024,
+        counter_bits: int = 2,
+    ):
+        check_power_of_two(chooser_rows, "chooser_rows")
+        self.component_a = component_a
+        self.component_b = component_b
+        self._chooser = CounterBank(chooser_rows, nbits=counter_bits)
+        self._mask = chooser_rows - 1
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int, target: int = 0) -> bool:
+        use_b = self._chooser.predict(self._chooser_index(pc))
+        pred_a = self.component_a.predict(pc, target)
+        pred_b = self.component_b.predict(pc, target)
+        return pred_b if use_b else pred_a
+
+    def update(self, pc: int, taken: bool, target: int = 0) -> None:
+        # Components are consulted before they are trained, mirroring
+        # the hardware's predict-then-resolve pipeline.
+        pred_a = self.component_a.predict(pc, target)
+        pred_b = self.component_b.predict(pc, target)
+        a_correct = pred_a == taken
+        b_correct = pred_b == taken
+        if a_correct != b_correct:
+            self._chooser.update(self._chooser_index(pc), b_correct)
+        self.component_a.update(pc, taken, target)
+        self.component_b.update(pc, taken, target)
+
+    def reset(self) -> None:
+        self.component_a.reset()
+        self.component_b.reset()
+        self._chooser.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self.component_a.storage_bits
+            + self.component_b.storage_bits
+            + self._chooser.storage_bits
+        )

@@ -1,0 +1,146 @@
+"""Configuration sweeps: the paper's constant-size tiers.
+
+For a budget of 2^n counters the paper simulates every split into 2^c
+columns x 2^r rows with c + r = n; repeating that for n = 4 .. 15 gives
+the surfaces of Figures 4, 5, 6 and 9. ``sweep_tiers`` runs exactly
+that grid for one scheme over one trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.predictors.specs import PER_ADDRESS_SCHEMES, PredictorSpec
+from repro.sim.engine import simulate
+from repro.sim.results import TierPoint, TierSurface
+from repro.traces.trace import BranchTrace
+
+#: The paper's tier range: 16 .. 32768 counters.
+PAPER_SIZE_BITS = range(4, 16)
+
+#: Schemes sweep_tiers accepts (two-level row/column families).
+SWEEPABLE_SCHEMES = ("gas", "gshare", "path", "pas", "sas")
+
+
+def spec_for_point(
+    scheme: str,
+    col_bits: int,
+    row_bits: int,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    counter_bits: int = 2,
+) -> PredictorSpec:
+    """The spec for one tier point.
+
+    The ``row_bits = 0`` edge of every tier is the address-indexed
+    predictor (the leftmost bar of the paper's Figure 4/6/9 tiers);
+    it has no first level, so the BHT options do not apply there.
+    """
+    if scheme not in SWEEPABLE_SCHEMES:
+        raise ConfigurationError(
+            f"sweeps cover {SWEEPABLE_SCHEMES}, not {scheme!r}"
+        )
+    if row_bits == 0:
+        return PredictorSpec(
+            scheme="bimodal", cols=1 << col_bits, counter_bits=counter_bits
+        )
+    kwargs = {}
+    if scheme in PER_ADDRESS_SCHEMES:
+        kwargs = {"bht_entries": bht_entries, "bht_assoc": bht_assoc}
+    elif scheme == "sas":
+        # Untagged per-set table: entries only, no associativity.
+        kwargs = {"bht_entries": bht_entries, "bht_assoc": 1}
+    elif bht_entries is not None:
+        raise ConfigurationError(
+            f"bht_entries does not apply to scheme {scheme!r}"
+        )
+    if scheme == "path":
+        # Nair records 2 bits per target; a 1-bit row index can only
+        # hold a 1-bit chunk.
+        kwargs = {"path_bits_per_branch": min(2, row_bits)}
+    return PredictorSpec(
+        scheme=scheme,
+        rows=1 << row_bits,
+        cols=1 << col_bits,
+        counter_bits=counter_bits,
+        **kwargs,
+    )
+
+
+def sweep_tiers(
+    scheme: str,
+    trace: BranchTrace,
+    size_bits: Iterable[int] = PAPER_SIZE_BITS,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    engine: str = "auto",
+    row_bits_filter: Optional[Sequence[int]] = None,
+) -> TierSurface:
+    """Simulate every (columns x rows) split of every requested tier.
+
+    Parameters
+    ----------
+    scheme:
+        One of ``gas``, ``gshare``, ``path``, ``pas``.
+    size_bits:
+        Tier exponents n (2^n counters each); the paper uses 4..15.
+    bht_entries / bht_assoc:
+        First-level geometry for ``pas`` (None = perfect histories).
+    row_bits_filter:
+        Restrict each tier to these row exponents (used by difference
+        grids and quick tests); default sweeps the full tier.
+    """
+    surface = TierSurface(scheme=scheme, trace_name=trace.name)
+    for n in size_bits:
+        for row_bits in range(n + 1):
+            if row_bits_filter is not None and row_bits not in row_bits_filter:
+                continue
+            spec = spec_for_point(
+                scheme,
+                col_bits=n - row_bits,
+                row_bits=row_bits,
+                bht_entries=bht_entries,
+                bht_assoc=bht_assoc,
+            )
+            result = simulate(spec, trace, engine=engine)
+            surface.add(
+                n,
+                TierPoint(
+                    col_bits=n - row_bits,
+                    row_bits=row_bits,
+                    misprediction_rate=result.misprediction_rate,
+                    first_level_miss_rate=result.first_level_miss_rate,
+                ),
+            )
+    return surface
+
+
+def sweep_shapes(
+    scheme: str,
+    trace: BranchTrace,
+    shapes: Sequence[tuple],
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    engine: str = "auto",
+) -> List[TierPoint]:
+    """Simulate an explicit list of (col_bits, row_bits) shapes."""
+    points = []
+    for col_bits, row_bits in shapes:
+        spec = spec_for_point(
+            scheme,
+            col_bits=col_bits,
+            row_bits=row_bits,
+            bht_entries=bht_entries,
+            bht_assoc=bht_assoc,
+        )
+        result = simulate(spec, trace, engine=engine)
+        points.append(
+            TierPoint(
+                col_bits=col_bits,
+                row_bits=row_bits,
+                misprediction_rate=result.misprediction_rate,
+                first_level_miss_rate=result.first_level_miss_rate,
+            )
+        )
+    return points

@@ -1,0 +1,36 @@
+"""Shared low-level utilities: bit manipulation, RNG, text tables."""
+
+from repro.utils.bits import (
+    bit_select,
+    extract_field,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    reverse_bits,
+)
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+)
+
+__all__ = [
+    "bit_select",
+    "extract_field",
+    "fold_xor",
+    "is_power_of_two",
+    "log2_exact",
+    "mask",
+    "reverse_bits",
+    "derive_seed",
+    "make_rng",
+    "format_table",
+    "check_in_range",
+    "check_nonnegative_int",
+    "check_positive_int",
+    "check_power_of_two",
+]

@@ -1,0 +1,74 @@
+"""Bit-manipulation helpers used throughout the predictor and engine code.
+
+All helpers accept either Python ints or numpy integer arrays; operations
+are expressed with plain ``&``, ``>>``, ``^`` so they vectorize naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+IntOrArray = Union[int, np.ndarray]
+
+
+def mask(nbits: int) -> int:
+    """Return an ``nbits``-wide all-ones mask (``mask(3) == 0b111``).
+
+    ``nbits`` may be zero, in which case the mask is 0.
+    """
+    if nbits < 0:
+        raise ValueError(f"mask width must be >= 0, got {nbits}")
+    return (1 << nbits) - 1
+
+
+def extract_field(value: IntOrArray, low: int, nbits: int) -> IntOrArray:
+    """Extract ``nbits`` bits of ``value`` starting at bit ``low``."""
+    if low < 0:
+        raise ValueError(f"low bit index must be >= 0, got {low}")
+    return (value >> low) & mask(nbits)
+
+
+def bit_select(value: IntOrArray, bit: int) -> IntOrArray:
+    """Return bit ``bit`` of ``value`` as 0/1."""
+    return (value >> bit) & 1
+
+
+def fold_xor(value: IntOrArray, width: int, nbits: int) -> IntOrArray:
+    """XOR-fold the low ``width`` bits of ``value`` down to ``nbits`` bits.
+
+    Used to hash wide values (PCs, path registers) into narrow table
+    indices without discarding high-order information.
+    """
+    if nbits <= 0:
+        raise ValueError(f"fold target width must be > 0, got {nbits}")
+    result = value & mask(min(nbits, width))
+    shifted = width - nbits
+    low = nbits
+    while shifted > 0:
+        take = min(nbits, shifted)
+        result = result ^ ((value >> low) & mask(take))
+        low += take
+        shifted -= take
+    return result
+
+
+def is_power_of_two(value: int) -> bool:
+    """True iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def reverse_bits(value: int, nbits: int) -> int:
+    """Reverse the low ``nbits`` bits of a Python int."""
+    result = 0
+    for i in range(nbits):
+        result = (result << 1) | ((value >> i) & 1)
+    return result

@@ -1,0 +1,73 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment modules print the same rows the paper's tables report;
+this renderer keeps that output aligned and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Optional[Sequence[str]] = None,
+    float_fmt: str = ".2f",
+    align: Optional[str] = None,
+) -> str:
+    """Render ``rows`` as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences; cells may be any object, floats are
+        formatted with ``float_fmt``.
+    headers:
+        Optional column headers; a separator rule is drawn beneath them.
+    align:
+        Optional per-column alignment string of ``'l'``/``'r'`` characters;
+        defaults to left for the first column and right for the rest.
+    """
+    str_rows: List[List[str]] = [
+        [_cell(value, float_fmt) for value in row] for row in rows
+    ]
+    ncols = max(
+        [len(r) for r in str_rows] + ([len(headers)] if headers else [0]),
+        default=0,
+    )
+    if ncols == 0:
+        return ""
+    for row in str_rows:
+        row.extend([""] * (ncols - len(row)))
+    header_row = list(headers) + [""] * (ncols - len(headers)) if headers else None
+
+    widths = [0] * ncols
+    for row in str_rows + ([header_row] if header_row else []):
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    if align is None:
+        align = "l" + "r" * (ncols - 1)
+    align = (align + "r" * ncols)[:ncols]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if align[i] == "l":
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if header_row:
+        lines.append(fmt_row(header_row))
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Argument validation helpers.
+
+Predictor and workload constructors validate eagerly so that a bad
+configuration fails at construction time with a precise message, not
+deep inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import is_power_of_two
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Ensure ``value`` is an int >= 1 and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Ensure ``value`` is an int >= 0 and return it."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Ensure ``value`` is a positive power of two and return it."""
+    check_positive_int(value, name)
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Ensure ``low <= value <= high`` and return ``value``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+    return value

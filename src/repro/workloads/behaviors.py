@@ -1,0 +1,226 @@
+"""Per-branch outcome models.
+
+Each static branch in a synthetic program carries a behaviour object that
+produces its outcome stream. The walker executes a routine one loop
+*invocation* at a time; a behaviour is asked for the branch's outcomes
+over all ``iterations`` of that invocation at once, which keeps trace
+generation vectorized.
+
+The behaviour classes mirror the branch populations the paper describes:
+
+* :class:`BiasedBehavior` — the "very highly biased" majority (error and
+  bounds checks, rarely-failing conditionals) and, with ``p`` near 0.5,
+  the hard data-dependent branches.
+* :class:`PatternBehavior` — short periodic outcome sequences; these are
+  the branches whose *self-history* is strongly predictive, the case PAs
+  schemes exploit (paper section 5).
+* :class:`CorrelatedBehavior` — outcome determined (modulo noise) by an
+  earlier branch in the same loop body; these are the branches whose
+  *global history* is predictive, the case GAs/gshare exploit (section 4).
+
+Loop back-edges do not get a behaviour object: the routine walker emits
+them directly (taken on every iteration but the last).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_in_range
+
+
+@dataclass
+class BehaviorContext:
+    """Per-invocation context handed to behaviours.
+
+    ``body_outcomes`` maps body-slot index to the outcome array (length =
+    iterations) already computed for that slot this invocation; the
+    walker fills it in body order, so correlated branches can reference
+    any earlier slot.
+
+    ``store`` is a per-*trace* persistent dictionary (keyed by behaviour
+    identity) for state that must survive across invocations, such as a
+    pattern's phase. Keeping this state in the context rather than on
+    the behaviour object makes trace generation a pure function of
+    (program, seed): generating twice from one program yields identical
+    traces.
+    """
+
+    body_outcomes: Dict[int, np.ndarray] = field(default_factory=dict)
+    store: Dict[int, object] = field(default_factory=dict)
+
+
+class Behavior(ABC):
+    """Outcome model of one static branch."""
+
+    @abstractmethod
+    def outcomes(
+        self, rng: np.random.Generator, iterations: int, ctx: BehaviorContext
+    ) -> np.ndarray:
+        """Return a bool array of ``iterations`` outcomes (True = taken)."""
+
+    def expected_taken_rate(self) -> float:
+        """Long-run taken probability; used for profile calibration tests."""
+        raise NotImplementedError
+
+
+@dataclass
+class BiasedBehavior(Behavior):
+    """Independent Bernoulli outcomes with fixed taken probability."""
+
+    p_taken: float
+
+    def __post_init__(self) -> None:
+        check_in_range(self.p_taken, "p_taken", 0.0, 1.0)
+
+    def outcomes(
+        self, rng: np.random.Generator, iterations: int, ctx: BehaviorContext
+    ) -> np.ndarray:
+        return rng.random(iterations) < self.p_taken
+
+    def expected_taken_rate(self) -> float:
+        return self.p_taken
+
+
+@dataclass
+class PatternBehavior(Behavior):
+    """Deterministic periodic outcome sequence, e.g. T T N, T N, ...
+
+    The phase persists across invocations, so the pattern continues where
+    the previous invocation of the enclosing routine left off — exactly
+    the behaviour a per-address history register can learn.
+    """
+
+    pattern: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pattern) < 2:
+            raise ConfigurationError(
+                f"pattern must have length >= 2, got {self.pattern!r}"
+            )
+        self.pattern = tuple(bool(b) for b in self.pattern)
+
+    def outcomes(
+        self, rng: np.random.Generator, iterations: int, ctx: BehaviorContext
+    ) -> np.ndarray:
+        period = len(self.pattern)
+        phase = int(ctx.store.get(id(self), 0))  # type: ignore[arg-type]
+        idx = (phase + np.arange(iterations)) % period
+        ctx.store[id(self)] = (phase + iterations) % period
+        return np.asarray(self.pattern, dtype=bool)[idx]
+
+    def expected_taken_rate(self) -> float:
+        return sum(self.pattern) / len(self.pattern)
+
+
+@dataclass
+class LoopPositionBehavior(Behavior):
+    """Outcome determined by position within the enclosing loop.
+
+    Taken for the first ``ceil(fraction * trips)`` iterations of each
+    invocation and not-taken afterwards (inverted when ``invert``).
+    This models guards like ``if (i < first_phase_end)``: a moderate
+    overall taken rate, yet fully deterministic given loop progress —
+    the kind of branch history-based predictors excel at and a lone
+    2-bit counter cannot track.
+    """
+
+    fraction: float
+    invert: bool = False
+
+    def __post_init__(self) -> None:
+        check_in_range(self.fraction, "fraction", 0.0, 1.0)
+
+    def outcomes(
+        self, rng: np.random.Generator, iterations: int, ctx: BehaviorContext
+    ) -> np.ndarray:
+        cut = int(np.ceil(self.fraction * iterations))
+        out = np.arange(iterations) < cut
+        return ~out if self.invert else out
+
+    def expected_taken_rate(self) -> float:
+        return 1.0 - self.fraction if self.invert else self.fraction
+
+
+@dataclass
+class CorrelatedBehavior(Behavior):
+    """Outcome tied to an earlier branch in the same loop body.
+
+    The outcome equals the source branch's outcome this iteration
+    (inverted when ``invert`` is set), flipped independently with
+    probability ``noise``. A global-history predictor whose history
+    window reaches back to the source branch can predict this branch
+    almost perfectly; a self-history predictor cannot.
+    """
+
+    source_slot: int
+    invert: bool = False
+    noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.source_slot < 0:
+            raise ConfigurationError(
+                f"source_slot must be >= 0, got {self.source_slot}"
+            )
+        check_in_range(self.noise, "noise", 0.0, 1.0)
+
+    def outcomes(
+        self, rng: np.random.Generator, iterations: int, ctx: BehaviorContext
+    ) -> np.ndarray:
+        if self.source_slot not in ctx.body_outcomes:
+            raise ConfigurationError(
+                f"correlated branch references slot {self.source_slot}, "
+                "which has no outcomes yet; sources must precede their "
+                "dependents in the loop body"
+            )
+        source = ctx.body_outcomes[self.source_slot]
+        if len(source) != iterations:
+            raise ConfigurationError(
+                "source outcome length mismatch: "
+                f"{len(source)} != {iterations}"
+            )
+        out = source ^ self.invert
+        if self.noise > 0.0:
+            flips = rng.random(iterations) < self.noise
+            out = out ^ flips
+        return out
+
+    def expected_taken_rate(self) -> float:
+        # Depends on the source's rate; 0.5 is the uninformed prior and
+        # good enough for calibration summaries.
+        return 0.5
+
+
+def behavior_summary(behavior: Behavior) -> str:
+    """One-token description used by program dumps and tests."""
+    if isinstance(behavior, BiasedBehavior):
+        return f"biased({behavior.p_taken:.2f})"
+    if isinstance(behavior, PatternBehavior):
+        bits = "".join("T" if b else "N" for b in behavior.pattern)
+        return f"pattern({bits})"
+    if isinstance(behavior, CorrelatedBehavior):
+        return f"correlated(slot={behavior.source_slot})"
+    if isinstance(behavior, LoopPositionBehavior):
+        return f"loop_position({behavior.fraction:.2f})"
+    return type(behavior).__name__
+
+
+def make_pattern(rng: np.random.Generator, max_period: int = 6) -> Tuple[bool, ...]:
+    """Draw a short non-constant periodic pattern."""
+    period = int(rng.integers(2, max_period + 1))
+    while True:
+        bits = tuple(bool(b) for b in rng.integers(0, 2, size=period))
+        if any(bits) and not all(bits):
+            return bits
+
+
+def population_mix_taken_rate(behaviors: Sequence[Behavior]) -> float:
+    """Average expected taken rate of a behaviour population."""
+    if not behaviors:
+        raise ConfigurationError("empty behaviour population")
+    return float(np.mean([b.expected_taken_rate() for b in behaviors]))

@@ -1,0 +1,166 @@
+"""Trace generation: walking a synthetic program.
+
+The walker executes the program one routine *invocation* at a time. A
+whole invocation (all loop iterations of one routine visit) is emitted
+with vectorized numpy operations, so generation cost is dominated by a
+Python loop over invocations (tens of emitted branches each), not over
+branch instances.
+
+Emission order within an invocation is iteration-major: for each loop
+iteration, the included body branches fire in body order, then the
+back-edge fires (taken, except on the final iteration). This ordering is
+what gives global-history predictors something to correlate on — the
+outcome of a source branch sits a few slots back in the history register
+when its dependent branch is predicted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.traces.trace import BranchTrace
+from repro.utils.rng import make_rng
+from repro.workloads.behaviors import BehaviorContext
+from repro.workloads.program import Program, Routine
+
+#: Trip counts are capped at this multiple of the routine mean so a
+#: single geometric draw cannot blow up one invocation block.
+_TRIP_CAP_FACTOR = 8
+
+#: Probability an invocation runs the routine's characteristic (fixed)
+#: trip count instead of a geometric draw; see
+#: :class:`repro.workloads.program.Routine`.
+_FIXED_TRIP_PROB = 0.75
+
+#: Routine invocations within a phase repeat a fixed cycle of this many
+#: entries (drawn per phase residence). Real programs call the same
+#: function sequence over and over; this repetition is what makes
+#: global-history patterns recur and therefore be learnable.
+_CYCLE_RANGE = (4, 12)
+
+#: Each cycle is repeated this many times before a fresh cycle is drawn.
+_CYCLE_REPEATS = (3, 9)
+
+
+def _emit_invocation(
+    routine: Routine,
+    trips: int,
+    rng: np.random.Generator,
+    store: dict,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Emit one invocation block: (pc, taken, target) arrays."""
+    body = routine.body
+    nbody = len(body)
+    rows = nbody + 1  # body slots then back-edge
+
+    include = np.empty((rows, trips), dtype=bool)
+    taken = np.empty((rows, trips), dtype=bool)
+    ctx = BehaviorContext(store=store)
+    for slot, branch in enumerate(body):
+        outcomes = branch.behavior.outcomes(rng, trips, ctx)
+        ctx.body_outcomes[slot] = outcomes
+        taken[slot] = outcomes
+        if branch.inclusion >= 1.0:
+            include[slot] = True
+        elif branch.inclusion_mode == "prefix":
+            # Deterministic loop-index guard: execute on the first
+            # ~inclusion*trips iterations. Stochastic rounding keeps the
+            # long-run inclusion rate exactly calibrated.
+            exact = branch.inclusion * trips
+            count = int(exact) + (rng.random() < (exact - int(exact)))
+            include[slot] = np.arange(trips) < count
+        else:
+            include[slot] = rng.random(trips) < branch.inclusion
+    # Back-edge: repeat the loop on every iteration but the last.
+    taken[nbody] = True
+    taken[nbody, trips - 1] = False
+    include[nbody] = True
+
+    pcs = np.array([b.pc for b in body] + [routine.backedge.pc], dtype=np.uint64)
+    taken_targets = np.array(
+        [b.taken_target for b in body] + [routine.backedge.taken_target],
+        dtype=np.uint64,
+    )
+
+    # Iteration-major flattening: transpose so iterations vary slowest.
+    mask = include.T.ravel()
+    pc_flat = np.broadcast_to(pcs, (trips, rows)).ravel()[mask]
+    taken_flat = taken.T.ravel()[mask]
+    target_flat = np.broadcast_to(taken_targets, (trips, rows)).ravel()[mask]
+    return pc_flat, taken_flat, target_flat
+
+
+def generate_trace(
+    program: Program,
+    length: int,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> BranchTrace:
+    """Generate ``length`` dynamic conditional branches from ``program``.
+
+    ``seed`` selects the dynamic path (phase schedule, trip counts,
+    stochastic outcomes) independently of the program-structure seed, so
+    one program can produce many statistically independent traces.
+    """
+    if length < 1:
+        raise WorkloadError(f"trace length must be >= 1, got {length}")
+    name = name or program.name
+    rng = make_rng(seed, f"walk:{program.name}:{program.seed}")
+
+    phase_length = max(1, program.profile.phase_length)
+    num_phases = len(program.phases)
+
+    pc_chunks: List[np.ndarray] = []
+    taken_chunks: List[np.ndarray] = []
+    target_chunks: List[np.ndarray] = []
+    store: dict = {}  # per-trace persistent behaviour state
+    emitted = 0
+    phase_index = int(rng.integers(0, num_phases))
+    while emitted < length:
+        members, probs = program.phases[phase_index]
+        duration = max(1, int(rng.poisson(phase_length)))
+        # A phase residence is a sequence of short routine cycles, each
+        # repeated a few times before a new cycle is drawn. Cycles are
+        # drawn by invocation weight, so long-run frequencies stay
+        # calibrated; the repetition is what makes global-history
+        # patterns recur locally while cold routines still get their
+        # turns across cycles.
+        blocks = []
+        planned = 0
+        while planned < duration:
+            cycle_len = int(rng.integers(*_CYCLE_RANGE))
+            repeats = int(rng.integers(*_CYCLE_REPEATS))
+            cycle = rng.choice(members, size=cycle_len, p=probs)
+            blocks.append(np.tile(cycle, repeats))
+            planned += cycle_len * repeats
+        chosen = np.concatenate(blocks)[:duration]
+        for routine_index in chosen:
+            routine = program.routines[int(routine_index)]
+            if rng.random() < _FIXED_TRIP_PROB:
+                trips = routine.fixed_trips
+            else:
+                cap = max(2, int(routine.mean_trips * _TRIP_CAP_FACTOR))
+                trips = min(int(rng.geometric(1.0 / routine.mean_trips)), cap)
+            pc, taken, target = _emit_invocation(routine, trips, rng, store)
+            pc_chunks.append(pc)
+            taken_chunks.append(taken)
+            target_chunks.append(target)
+            emitted += len(pc)
+            if emitted >= length:
+                break
+        phase_index = int(rng.integers(0, num_phases))
+
+    pc = np.concatenate(pc_chunks)[:length]
+    taken = np.concatenate(taken_chunks)[:length]
+    target = np.concatenate(target_chunks)[:length]
+    instruction_count = int(round(length / program.profile.branch_fraction))
+    return BranchTrace(
+        pc=pc,
+        taken=taken,
+        target=target,
+        name=name,
+        instruction_count=instruction_count,
+    )

@@ -1,0 +1,70 @@
+"""Top-level workload factory with caching.
+
+``make_workload`` is the one call most users need: profile lookup,
+program construction, and trace generation in one step, with an
+in-process cache so experiment code can re-request the same trace
+without regenerating it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.traces.trace import BranchTrace
+from repro.workloads.generator import generate_trace
+from repro.workloads.profiles import PROFILES, get_profile
+from repro.workloads.program import build_program
+
+_CACHE: Dict[Tuple[str, int, int, int], BranchTrace] = {}
+_CACHE_LIMIT = 32
+
+
+def list_workloads() -> List[str]:
+    """Names of all calibrated benchmark profiles, SPEC suite first."""
+    return sorted(PROFILES, key=lambda n: (PROFILES[n].suite, n))
+
+
+def make_workload(
+    name: str,
+    length: Optional[int] = None,
+    seed: int = 0,
+    trace_seed: Optional[int] = None,
+    cache: bool = True,
+) -> BranchTrace:
+    """Generate (or fetch from cache) a calibrated benchmark trace.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (see :func:`list_workloads`).
+    length:
+        Dynamic conditional-branch count; defaults to the profile's
+        ``default_length``.
+    seed:
+        Program-structure seed (branch population, layout, behaviours).
+    trace_seed:
+        Dynamic-path seed; defaults to ``seed`` so a single integer
+        fully determines the trace.
+    cache:
+        Keep the trace in an in-process cache (bounded) for reuse.
+    """
+    profile = get_profile(name)
+    if length is None:
+        length = profile.default_length
+    if trace_seed is None:
+        trace_seed = seed
+    key = (name, int(length), int(seed), int(trace_seed))
+    if cache and key in _CACHE:
+        return _CACHE[key]
+    program = build_program(profile, seed=seed)
+    trace = generate_trace(program, length=length, seed=trace_seed)
+    if cache:
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[key] = trace
+    return trace
+
+
+def clear_cache() -> None:
+    """Drop all cached traces (mainly for tests)."""
+    _CACHE.clear()

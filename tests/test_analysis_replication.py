@@ -1,0 +1,160 @@
+"""Tests for the seed-replication harness and branch reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ReplicatedRate,
+    branch_breakdown,
+    branch_report,
+    concentration,
+    replicate_comparison,
+    replicate_rate,
+    replication_report,
+    seeds_for,
+    significant_difference,
+)
+from repro.errors import ConfigurationError
+from repro.predictors import make_predictor_spec
+from repro.sim import simulate
+from repro.sim.results import SimulationResult
+from repro.workloads import make_workload
+
+
+def make_rep(rates, scheme="bimodal"):
+    return ReplicatedRate(
+        spec=make_predictor_spec(scheme, cols=64),
+        benchmark="b",
+        rates=tuple(rates),
+    )
+
+
+class TestReplicatedRate:
+    def test_mean_std(self):
+        rep = make_rep([0.1, 0.2, 0.3])
+        assert rep.mean == pytest.approx(0.2)
+        assert rep.std == pytest.approx(0.1)
+        assert rep.stderr == pytest.approx(0.1 / np.sqrt(3))
+
+    def test_single_seed_zero_std(self):
+        rep = make_rep([0.1])
+        assert rep.std == 0.0
+
+    def test_interval_symmetric(self):
+        rep = make_rep([0.1, 0.2, 0.3])
+        low, high = rep.interval()
+        assert low < rep.mean < high
+        assert high - rep.mean == pytest.approx(rep.mean - low)
+
+
+class TestSignificance:
+    def test_clear_difference(self):
+        a = make_rep([0.05, 0.051, 0.049])
+        b = make_rep([0.20, 0.21, 0.19])
+        assert significant_difference(a, b) is True
+        assert significant_difference(b, a) is False
+
+    def test_overlap_is_none(self):
+        a = make_rep([0.10, 0.20, 0.15])
+        b = make_rep([0.12, 0.18, 0.16])
+        assert significant_difference(a, b) is None
+
+
+class TestReplicateRate:
+    def test_runs_across_seeds(self):
+        spec = make_predictor_spec("bimodal", cols=256)
+        rep = replicate_rate(spec, "compress", seeds=[1, 2, 3],
+                             length=4_000)
+        assert len(rep.rates) == 3
+        assert 0 < rep.mean < 1
+        # Different seeds give different (but nearby) rates.
+        assert rep.std > 0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate_rate(
+                make_predictor_spec("bimodal", cols=16), "compress",
+                seeds=[], length=100,
+            )
+
+    def test_comparison_detects_real_gap(self):
+        """PAs(inf) vs always-taken must separate beyond noise."""
+        a, b, verdict = replicate_comparison(
+            make_predictor_spec("pag", rows=256),
+            make_predictor_spec("static", static_policy="taken"),
+            "compress",
+            seeds=[1, 2, 3],
+            length=6_000,
+        )
+        assert verdict is True  # a significantly better
+
+    def test_report_renders(self):
+        rep = make_rep([0.1, 0.2])
+        text = replication_report([rep])
+        assert "halfwidth" in text and "bimodal" in text
+
+    def test_report_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replication_report([])
+
+    def test_seeds_for(self):
+        assert seeds_for(3) == [100, 101, 102]
+        with pytest.raises(ConfigurationError):
+            seeds_for(0)
+
+
+class TestBranchReport:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        trace = make_workload("compress", length=8_000, seed=4)
+        result = simulate(make_predictor_spec("bimodal", cols=64), trace)
+        return result, trace
+
+    def test_breakdown_sums_to_total(self, sim):
+        result, trace = sim
+        records = branch_breakdown(result, trace)
+        assert sum(r.mispredictions for r in records) == (
+            result.mispredictions
+        )
+        assert sum(r.executions for r in records) == len(trace)
+
+    def test_sorted_by_contribution(self, sim):
+        result, trace = sim
+        records = branch_breakdown(result, trace)
+        misses = [r.mispredictions for r in records]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_length_mismatch_rejected(self, sim):
+        result, trace = sim
+        with pytest.raises(ConfigurationError):
+            branch_breakdown(result, trace.slice(0, 10))
+
+    def test_concentration(self, sim):
+        result, trace = sim
+        records = branch_breakdown(result, trace)
+        half = concentration(records, 0.5)
+        assert 1 <= half <= len(records)
+        assert concentration(records, 1.0) <= len(records)
+
+    def test_concentration_validation(self):
+        with pytest.raises(ConfigurationError):
+            concentration([], 0.5)
+
+    def test_concentration_no_misses(self):
+        record = SimulationResult(
+            spec=make_predictor_spec("bimodal", cols=4),
+            trace_name="t",
+            predictions=np.array([True]),
+            taken=np.array([True]),
+        )
+        from repro.traces import BranchTrace
+
+        trace = BranchTrace.from_records([(0x100, True)])
+        records = branch_breakdown(record, trace)
+        assert concentration(records, 0.5) == 0
+
+    def test_report_renders(self, sim):
+        result, trace = sim
+        text = branch_report(result, trace, top=5)
+        assert "share of misses" in text
+        assert "produce half" in text

@@ -1,0 +1,83 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table3" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "espresso" in out and "ibs-ultrix" in out
+
+
+class TestRun:
+    def test_run_table2(self, capsys):
+        code = main(
+            ["run", "table2", "--length", "4000", "--benchmark", "espresso"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "espresso" in out
+
+    def test_run_fig2_with_sizes(self, capsys):
+        code = main(
+            [
+                "run", "fig2", "--length", "3000",
+                "--benchmark", "compress", "--sizes", "4", "6",
+            ]
+        )
+        assert code == 0
+        assert "2^6" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "fig99", "--length", "1000"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCharacterize:
+    def test_characterize(self, capsys):
+        code = main(["characterize", "compress", "--length", "4000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static branches" in out
+        assert "50/40/9/1" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["characterize", "doom", "--length", "100"]) == 1
+
+
+class TestSimulate:
+    def test_simulate_gshare(self, capsys):
+        code = main(
+            [
+                "simulate", "--scheme", "gshare", "--rows", "64",
+                "--benchmark", "compress", "--length", "3000",
+            ]
+        )
+        assert code == 0
+        assert "mispredict=" in capsys.readouterr().out
+
+    def test_simulate_pas_reports_l1(self, capsys):
+        code = main(
+            [
+                "simulate", "--scheme", "pas", "--rows", "16",
+                "--cols", "4", "--bht-entries", "128",
+                "--benchmark", "compress", "--length", "3000",
+            ]
+        )
+        assert code == 0
+        assert "L1-miss=" in capsys.readouterr().out
+
+    def test_bad_spec_errors(self, capsys):
+        code = main(
+            ["simulate", "--scheme", "gag", "--rows", "12",
+             "--length", "100"]
+        )
+        assert code == 1

@@ -1,0 +1,57 @@
+"""CLI export-option tests."""
+
+import csv
+
+from repro.cli import main
+
+
+class TestRunExport:
+    def test_export_surface(self, tmp_path, capsys):
+        out = tmp_path / "fig4.csv"
+        code = main(
+            [
+                "run", "fig4", "--length", "3000",
+                "--benchmark", "compress", "--sizes", "4",
+                "--export", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("# compress")
+        assert "misprediction_rate" in text
+
+    def test_export_series(self, tmp_path, capsys):
+        out = tmp_path / "fig2.csv"
+        code = main(
+            [
+                "run", "fig2", "--length", "3000",
+                "--benchmark", "compress", "--sizes", "4", "5",
+                "--export", str(out),
+            ]
+        )
+        assert code == 0
+        rows = list(csv.reader(out.open()))
+        assert rows[0] == ["name", "x", "rate"]
+        assert len(rows) == 3
+
+    def test_export_grid(self, tmp_path, capsys):
+        out = tmp_path / "fig7.csv"
+        code = main(
+            [
+                "run", "fig7", "--length", "3000", "--sizes", "4",
+                "--export", str(out),
+            ]
+        )
+        assert code == 0
+        assert "difference_points" in out.read_text()
+
+    def test_export_unsupported_errors(self, tmp_path, capsys):
+        out = tmp_path / "t.csv"
+        code = main(
+            [
+                "run", "table1", "--length", "2000",
+                "--benchmark", "compress", "--export", str(out),
+            ]
+        )
+        assert code == 1
+        assert "no CSV-exportable" in capsys.readouterr().err

@@ -1,0 +1,159 @@
+"""Tests for the first-level branch-history table and reset pattern."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.predictors.bht import (
+    RESET_PATTERN,
+    BranchHistoryTable,
+    PerfectHistoryTable,
+    reset_history,
+)
+
+
+class TestResetHistory:
+    def test_full_pattern(self):
+        assert reset_history(16) == RESET_PATTERN
+
+    def test_prefix_is_high_bits(self):
+        # 0xC3FF = 1100001111111111; 4-bit prefix = 1100.
+        assert reset_history(4) == 0b1100
+        assert reset_history(10) == 0b1100001111
+
+    def test_mixes_zeros_and_ones(self):
+        # The pattern exists to avoid all-taken / all-not-taken rows.
+        for bits in range(3, 16):
+            value = reset_history(bits)
+            assert value != 0
+            assert value != (1 << bits) - 1
+
+    def test_extends_beyond_sixteen_bits(self):
+        value = reset_history(20)
+        assert value >> 4 == RESET_PATTERN
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            reset_history(0)
+
+
+class TestBranchHistoryTable:
+    def test_miss_then_hit(self):
+        table = BranchHistoryTable(entries=8, assoc=2, history_bits=4)
+        history, hit = table.lookup(0x100)
+        assert not hit
+        assert history == reset_history(4)
+        _, hit = table.lookup(0x100)
+        assert hit
+
+    def test_record_shifts_history(self):
+        table = BranchHistoryTable(entries=8, assoc=2, history_bits=4)
+        table.lookup(0x100)
+        table.record(0x100, True)
+        history, hit = table.lookup(0x100)
+        assert hit
+        assert history == ((reset_history(4) << 1) | 1) & 0xF
+
+    def test_record_without_lookup_rejected(self):
+        table = BranchHistoryTable(entries=8, assoc=2, history_bits=4)
+        with pytest.raises(ConfigurationError):
+            table.record(0x100, True)
+
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways; pcs 0x100, 0x120, 0x140 share set 0
+        # (word index mod 2 == 0).
+        table = BranchHistoryTable(entries=4, assoc=2, history_bits=4)
+        table.lookup(0x100)
+        table.lookup(0x120)
+        table.lookup(0x100)  # refresh 0x100 -> 0x120 becomes LRU
+        table.lookup(0x140)  # evicts 0x120
+        _, hit = table.lookup(0x100)
+        assert hit
+        _, hit = table.lookup(0x120)
+        assert not hit  # was evicted
+
+    def test_conflict_resets_history(self):
+        table = BranchHistoryTable(entries=2, assoc=1, history_bits=4)
+        table.lookup(0x100)
+        table.record(0x100, True)
+        table.lookup(0x110)  # same set (direct mapped, 2 sets), evicts
+        history, hit = table.lookup(0x100)
+        assert not hit
+        assert history == reset_history(4)
+
+    def test_miss_rate_counts_each_access_once(self):
+        table = BranchHistoryTable(entries=8, assoc=2, history_bits=4)
+        table.lookup(0x100)  # miss
+        table.lookup(0x100)  # hit
+        table.lookup(0x100)  # hit
+        assert table.accesses == 3
+        assert table.miss_rate == pytest.approx(1 / 3)
+
+    def test_miss_rate_empty(self):
+        table = BranchHistoryTable(entries=8, assoc=2, history_bits=4)
+        assert table.miss_rate == 0.0
+
+    def test_reset_clears_everything(self):
+        table = BranchHistoryTable(entries=8, assoc=2, history_bits=4)
+        table.lookup(0x100)
+        table.reset()
+        assert table.accesses == 0
+        _, hit = table.lookup(0x100)
+        assert not hit
+
+    def test_storage_bits_excludes_tags(self):
+        table = BranchHistoryTable(entries=1024, assoc=4, history_bits=10)
+        assert table.storage_bits == 10240
+
+    @pytest.mark.parametrize(
+        "entries,assoc",
+        [(0, 1), (7, 1), (4, 8), (8, 3)],
+    )
+    def test_bad_geometry_rejected(self, entries, assoc):
+        with pytest.raises(ConfigurationError):
+            BranchHistoryTable(entries=entries, assoc=assoc, history_bits=4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    @settings(max_examples=30)
+    def test_fully_associative_never_conflicts_within_capacity(self, pcs):
+        """With distinct PCs <= capacity, only compulsory misses occur."""
+        table = BranchHistoryTable(entries=16, assoc=16, history_bits=4)
+        distinct = []
+        for pc_index in pcs:
+            pc = 0x1000 + pc_index * 4
+            if pc not in distinct:
+                distinct.append(pc)
+            if len(distinct) > 16:
+                break
+            table.lookup(pc)
+        assert table.misses == len(distinct[:16]) or not pcs
+
+
+class TestPerfectHistoryTable:
+    def test_never_misses(self):
+        table = PerfectHistoryTable(history_bits=6)
+        for pc in (0x100, 0x104, 0x100):
+            _, hit = table.lookup(pc)
+            assert hit
+        assert table.miss_rate == 0.0
+
+    def test_histories_are_per_branch(self):
+        table = PerfectHistoryTable(history_bits=4)
+        table.record(0x100, True)
+        table.record(0x200, False)
+        h1, _ = table.lookup(0x100)
+        h2, _ = table.lookup(0x200)
+        assert h1 != h2
+
+    def test_initial_history_is_reset_pattern(self):
+        table = PerfectHistoryTable(history_bits=8)
+        history, _ = table.lookup(0xABC)
+        assert history == reset_history(8)
+
+    def test_reset(self):
+        table = PerfectHistoryTable(history_bits=4)
+        table.record(0x100, True)
+        table.reset()
+        history, _ = table.lookup(0x100)
+        assert history == reset_history(4)

@@ -1,0 +1,130 @@
+"""Tests for saturating counters in all three consistent forms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.predictors.counters import (
+    CounterBank,
+    SaturatingCounter,
+    counter_init_state,
+    counter_outputs,
+    counter_states,
+    counter_threshold,
+    counter_transitions,
+)
+
+
+class TestAutomatonTables:
+    def test_two_bit_transitions(self):
+        table = counter_transitions(2)
+        # Not-taken decrements with saturation at 0.
+        assert list(table[0]) == [0, 0, 1, 2]
+        # Taken increments with saturation at 3.
+        assert list(table[1]) == [1, 2, 3, 3]
+
+    def test_two_bit_outputs(self):
+        assert list(counter_outputs(2)) == [False, False, True, True]
+
+    def test_one_bit_counter(self):
+        table = counter_transitions(1)
+        assert list(table[0]) == [0, 0]
+        assert list(table[1]) == [1, 1]
+        assert list(counter_outputs(1)) == [False, True]
+
+    def test_init_state_is_weakly_taken(self):
+        assert counter_init_state(2) == 2
+        assert counter_outputs(2)[counter_init_state(2)]
+
+    @given(st.integers(min_value=1, max_value=6))
+    def test_tables_consistent_any_width(self, nbits):
+        table = counter_transitions(nbits)
+        states = counter_states(nbits)
+        assert table.shape == (2, states)
+        # Taken transitions never decrease, not-taken never increase.
+        assert (table[1] >= np.arange(states)).all()
+        assert (table[0] <= np.arange(states)).all()
+        assert counter_threshold(nbits) == states // 2
+
+
+class TestSaturatingCounter:
+    def test_default_initial_prediction(self):
+        assert SaturatingCounter().predict() is True
+
+    def test_training_to_not_taken(self):
+        counter = SaturatingCounter()
+        counter.update(False)
+        counter.update(False)
+        assert counter.predict() is False
+
+    def test_hysteresis(self):
+        # From strongly taken, one not-taken outcome keeps predict=taken.
+        counter = SaturatingCounter(state=3)
+        counter.update(False)
+        assert counter.predict() is True
+
+    def test_saturation(self):
+        counter = SaturatingCounter(state=3)
+        for _ in range(10):
+            counter.update(True)
+        assert counter.state == 3
+        for _ in range(10):
+            counter.update(False)
+        assert counter.state == 0
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(nbits=2, state=4)
+
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_matches_automaton_tables(self, outcomes):
+        """The scalar counter and the automaton tables must agree —
+        this is the consistency the vectorized engine relies on."""
+        counter = SaturatingCounter()
+        table = counter_transitions(2)
+        outputs = counter_outputs(2)
+        state = counter_init_state(2)
+        for taken in outcomes:
+            assert counter.predict() == bool(outputs[state])
+            counter.update(taken)
+            state = int(table[int(taken), state])
+        assert counter.state == state
+
+
+class TestCounterBank:
+    def test_independent_counters(self):
+        bank = CounterBank(4)
+        bank.update(0, False)
+        bank.update(0, False)
+        assert bank.predict(0) is False
+        assert bank.predict(1) is True
+
+    def test_reset(self):
+        bank = CounterBank(4)
+        bank.update(2, False)
+        bank.update(2, False)
+        bank.reset()
+        assert bank.predict(2) is True
+
+    def test_storage_bits(self):
+        assert CounterBank(1024, nbits=2).storage_bits == 2048
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CounterBank(0)
+
+    def test_bad_init_state_rejected(self):
+        with pytest.raises(ValueError):
+            CounterBank(4, nbits=2, init_state=7)
+
+    @given(st.lists(st.booleans(), max_size=40))
+    @settings(max_examples=30)
+    def test_bank_matches_scalar_counter(self, outcomes):
+        bank = CounterBank(8)
+        counter = SaturatingCounter()
+        for taken in outcomes:
+            assert bank.predict(5) == counter.predict()
+            bank.update(5, taken)
+            counter.update(taken)

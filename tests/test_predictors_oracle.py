@@ -1,0 +1,146 @@
+"""Tests for the oracle predictors and micro-workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError, WorkloadError
+from repro.predictors.oracle import (
+    ORACLE_KINDS,
+    information_bounds,
+    oracle_predictions,
+    oracle_result,
+)
+from repro.workloads.micro import (
+    aliasing_pair_trace,
+    alternating_trace,
+    biased_field_trace,
+    correlated_pair_trace,
+    loop_trace,
+    pattern_trace,
+)
+
+
+class TestMicroWorkloads:
+    def test_loop_trace_shape(self):
+        trace = loop_trace(trips=4, repeats=3)
+        assert len(trace) == 12
+        assert list(trace.taken[:4]) == [True, True, True, False]
+        assert trace.num_static_branches == 1
+
+    def test_loop_validation(self):
+        with pytest.raises(WorkloadError):
+            loop_trace(trips=1, repeats=3)
+
+    def test_alternating(self):
+        trace = alternating_trace(6)
+        assert list(trace.taken) == [True, False] * 3
+
+    def test_correlated_pair_pure(self):
+        trace = correlated_pair_trace(100, noise=0.0, seed=1)
+        a = trace.taken[0::2]
+        b = trace.taken[1::2]
+        assert np.array_equal(a, b)
+        assert trace.num_static_branches == 2
+
+    def test_correlated_pair_noise(self):
+        trace = correlated_pair_trace(10_000, noise=0.3, seed=1)
+        a = trace.taken[0::2]
+        b = trace.taken[1::2]
+        disagree = float(np.mean(a != b))
+        assert abs(disagree - 0.3) < 0.03
+
+    def test_aliasing_pair_strides(self):
+        trace = aliasing_pair_trace(10, stride_counters=16)
+        assert int(trace.pc[1]) - int(trace.pc[0]) == 64
+
+    def test_pattern_trace(self):
+        trace = pattern_trace([True, False, False], repeats=2)
+        assert list(trace.taken) == [True, False, False] * 2
+
+    def test_biased_field(self):
+        trace = biased_field_trace(branches=5, executions_each=100,
+                                   taken_probability=1.0)
+        assert trace.num_static_branches == 5
+        assert trace.taken.all()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: alternating_trace(1),
+            lambda: correlated_pair_trace(1),
+            lambda: aliasing_pair_trace(1),
+            lambda: pattern_trace([True], 2),
+            lambda: biased_field_trace(0, 1),
+        ],
+    )
+    def test_validation(self, factory):
+        with pytest.raises(WorkloadError):
+            factory()
+
+
+class TestOracles:
+    def test_prophet_is_perfect(self):
+        trace = alternating_trace(50)
+        assert np.array_equal(
+            oracle_predictions("prophet", trace), trace.taken
+        )
+
+    def test_majority_oracle_on_biased_branch(self):
+        trace = biased_field_trace(3, 200, taken_probability=0.9, seed=2)
+        predictions = oracle_predictions("majority", trace)
+        miss = float(np.mean(predictions != trace.taken))
+        # Majority direction misses exactly the minority instances.
+        assert abs(miss - (1 - trace.taken_rate)) < 0.02
+
+    def test_majority_oracle_useless_on_alternation(self):
+        trace = alternating_trace(100)
+        predictions = oracle_predictions("majority", trace)
+        assert float(np.mean(predictions != trace.taken)) == pytest.approx(
+            0.5
+        )
+
+    def test_self_pattern_oracle_nails_patterns(self):
+        trace = pattern_trace([True, True, False, False], repeats=100)
+        predictions = oracle_predictions("self_pattern", trace,
+                                         history_bits=4)
+        tail = slice(8, None)  # skip the reset-prefix warmup
+        assert np.array_equal(
+            predictions[tail], trace.taken[tail]
+        )
+
+    def test_global_oracle_nails_correlation(self):
+        trace = correlated_pair_trace(2_000, noise=0.0, seed=3)
+        predictions = oracle_predictions("global_pattern", trace,
+                                         history_bits=2)
+        b_instances = slice(1, None, 2)
+        miss = float(
+            np.mean(predictions[b_instances] != trace.taken[b_instances])
+        )
+        assert miss < 0.02
+
+    def test_information_bounds_ordering(self):
+        """prophet <= pattern oracles <= majority, by construction."""
+        from repro.workloads import make_workload
+
+        trace = make_workload("espresso", length=8_000, seed=5)
+        bounds = information_bounds(trace, history_bits=8)
+        assert bounds["prophet"] == 0.0
+        assert bounds["global_pattern"] <= bounds["majority"] + 1e-9
+        assert bounds["self_pattern"] <= bounds["majority"] + 1e-9
+        assert set(bounds) == set(ORACLE_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            oracle_predictions("clairvoyant", alternating_trace(10))
+
+    def test_empty_trace_rejected(self):
+        from repro.traces import BranchTrace
+
+        with pytest.raises(TraceError):
+            oracle_predictions("majority", BranchTrace.from_records([]))
+
+    def test_oracle_result_wrapper(self):
+        trace = alternating_trace(20)
+        result = oracle_result("prophet", trace)
+        assert result.misprediction_rate == 0.0
+        assert result.engine == "oracle:prophet"

@@ -1,0 +1,385 @@
+"""Behavioural tests for every scalar predictor scheme.
+
+Each scheme is checked on hand-constructed branch sequences whose
+correct behaviour is known from the paper's description of the scheme,
+plus cross-scheme equivalences (GAs with one column == GAg, etc.).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predictors import (
+    AgreePredictor,
+    BiModePredictor,
+    BimodalPredictor,
+    GApPredictor,
+    GlobalHistoryPredictor,
+    GsharePredictor,
+    GskewPredictor,
+    PathBasedPredictor,
+    PerAddressPredictor,
+    StaticPredictor,
+    TournamentPredictor,
+    build_predictor,
+    make_predictor_spec,
+    taxonomy_code,
+)
+
+
+def run(predictor, sequence):
+    """Drive predictor over (pc, taken, target) triples; return
+    misprediction count."""
+    wrong = 0
+    for pc, taken, target in sequence:
+        if predictor.predict(pc, target) != taken:
+            wrong += 1
+        predictor.update(pc, taken, target)
+    return wrong
+
+
+def constant_branch(pc, taken, n, target=0x2000):
+    return [(pc, taken, target)] * n
+
+
+class TestStatic:
+    def test_always_taken(self):
+        p = StaticPredictor("taken")
+        assert run(p, constant_branch(0x100, True, 10)) == 0
+        assert run(p, constant_branch(0x100, False, 10)) == 10
+
+    def test_btfn(self):
+        p = StaticPredictor("btfn")
+        backward = [(0x1000, True, 0x0800)] * 5  # loop: predicted taken
+        forward = [(0x1000, False, 0x1800)] * 5  # skip: predicted NT
+        assert run(p, backward) == 0
+        assert run(p, forward) == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticPredictor("backwards")
+
+    def test_update_is_noop(self):
+        p = StaticPredictor("taken")
+        p.update(0x100, False)
+        assert p.predict(0x100) is True
+
+
+class TestBimodal:
+    def test_learns_constant_branch(self):
+        p = BimodalPredictor(counters=16)
+        # After warmup, a constant branch never mispredicts.
+        run(p, constant_branch(0x100, False, 3))
+        assert run(p, constant_branch(0x100, False, 20)) == 0
+
+    def test_hysteresis_survives_single_deviation(self):
+        p = BimodalPredictor(counters=16)
+        run(p, constant_branch(0x100, True, 5))
+        run(p, constant_branch(0x100, False, 1))
+        assert p.predict(0x100) is True
+
+    def test_aliasing_between_distant_branches(self):
+        # pcs 0x100 and 0x100 + 16*4 share a counter in a 16-entry table.
+        p = BimodalPredictor(counters=16)
+        run(p, constant_branch(0x100, True, 5))
+        run(p, constant_branch(0x100 + 64, False, 5))
+        # The second branch destroyed the first branch's state.
+        assert p.predict(0x100) is False
+
+    def test_alternating_branch_defeats_counter(self):
+        p = BimodalPredictor(counters=16)
+        seq = [(0x100, i % 2 == 0, 0) for i in range(40)]
+        assert run(p, seq) >= 15  # ~50% on alternation
+
+    def test_storage(self):
+        assert BimodalPredictor(counters=512).storage_bits == 1024
+
+
+class TestGlobalHistory:
+    def test_learns_global_correlation(self):
+        """Branch B equals the previous outcome of branch A: GAg with
+        1+ history bits learns it; bimodal cannot."""
+        seq = []
+        import random
+
+        rnd = random.Random(7)
+        for _ in range(400):
+            a = rnd.random() < 0.5
+            seq.append((0x100, a, 0))
+            seq.append((0x104, a, 0))  # perfectly correlated with A
+        gag = GlobalHistoryPredictor(rows=16, cols=1)
+        bimodal = BimodalPredictor(counters=16)
+        gag_wrong_tail = run(gag, seq[200:]) if run(gag, seq[:200]) else 0
+        gag = GlobalHistoryPredictor(rows=16, cols=1)
+        run(gag, seq[:400])
+        gag_tail = run(gag, seq[400:])
+        run(bimodal, seq[:400])
+        bimodal_tail = run(bimodal, seq[400:])
+        # B instances: gag predicts them near-perfectly; bimodal ~50%.
+        assert gag_tail < bimodal_tail * 0.7
+
+    def test_gag_learns_short_loop_exit(self):
+        """4-iteration loop: GAg with >= 4 history bits predicts the
+        exit (the paper's all-ones-but-short pattern)."""
+        seq = []
+        for _ in range(100):
+            seq.extend([(0x100, True, 0x80)] * 3)
+            seq.append((0x100, False, 0x80))
+        gag = GlobalHistoryPredictor(rows=16, cols=1)
+        run(gag, seq[: len(seq) // 2])
+        assert run(gag, seq[len(seq) // 2 :]) == 0
+
+    def test_single_column_is_gag(self):
+        assert GlobalHistoryPredictor(rows=8, cols=1).scheme == "gag"
+        assert GlobalHistoryPredictor(rows=8, cols=2).scheme == "gas"
+
+    def test_columns_separate_branches(self):
+        """Two opposite constant branches observed under identical
+        history contexts: a single column forces them onto one counter,
+        address columns separate them."""
+        seq = []
+        for _ in range(100):
+            seq.append((0x200, True, 0))  # context setter: always taken
+            seq.append((0x100, True, 0))
+            seq.append((0x200, True, 0))
+            seq.append((0x104, False, 0))
+        # rows=2 -> 1 history bit, which is always 1 (the 0x200 outcome)
+        # before both 0x100 and 0x104: identical rows, conflicting
+        # outcomes in one column.
+        one_col = GlobalHistoryPredictor(rows=2, cols=1)
+        two_col = GlobalHistoryPredictor(rows=2, cols=2)
+        wrong_one = run(one_col, seq)
+        wrong_two = run(two_col, seq)
+        assert wrong_two < wrong_one / 2
+
+    def test_storage(self):
+        p = GlobalHistoryPredictor(rows=64, cols=4)
+        assert p.storage_bits == 64 * 4 * 2 + 6
+
+
+class TestGAp:
+    def test_private_columns_never_alias(self):
+        p = GApPredictor(rows=4)
+        seq = []
+        for _ in range(50):
+            seq.append((0x100, True, 0))
+            seq.append((0x100 + 4 * 1024, False, 0))  # same low bits
+        run(p, seq)
+        tail = [(0x100, True, 0), (0x100 + 4 * 1024, False, 0)] * 10
+        assert run(p, tail) == 0
+
+    def test_storage_grows_with_branches(self):
+        p = GApPredictor(rows=4)
+        run(p, [(0x100, True, 0), (0x200, True, 0)])
+        assert p.storage_bits == 2 * 4 * 2 + 2
+
+
+class TestGshare:
+    def test_xor_separates_aliased_patterns(self):
+        """Two branches with identical histories but different
+        addresses: gshare maps them to different rows."""
+        p = GsharePredictor(rows=64, cols=1)
+        seq = []
+        for _ in range(100):
+            seq.append((0x100, True, 0))
+            seq.append((0x1F0, False, 0))
+        run(p, seq[:100])
+        assert run(p, seq[100:]) <= 2
+
+    def test_matches_paper_shape_conventions(self):
+        p = GsharePredictor(rows=8, cols=4)
+        assert p.rows == 8 and p.cols == 4
+
+    def test_storage(self):
+        assert GsharePredictor(rows=1024, cols=1).storage_bits == 2048 + 10
+
+
+class TestPath:
+    def test_distinguishes_paths_to_same_branch(self):
+        """Branch C's outcome depends on which of two blocks preceded
+        it; direction history cannot tell (both predecessors 'taken')
+        but their target addresses differ."""
+        seq = []
+        import random
+
+        rnd = random.Random(3)
+        for _ in range(300):
+            via_a = rnd.random() < 0.5
+            # The two intermediate blocks differ in the low word-address
+            # bits of their entry points (0x30C vs 0x310), which is what
+            # the path register records.
+            if via_a:
+                seq.append((0x100, True, 0x30C))
+                seq.append((0x30C, True, 0x500))
+            else:
+                seq.append((0x100, True, 0x310))
+                seq.append((0x310, True, 0x500))
+            seq.append((0x500, via_a, 0x600))
+        p = PathBasedPredictor(rows=64, cols=1, bits_per_target=3)
+        run(p, seq[: len(seq) // 2])
+        tail_wrong = run(p, seq[len(seq) // 2 :])
+        assert tail_wrong <= len(seq) // 2 * 0.1
+
+    def test_bits_per_target_bounded(self):
+        with pytest.raises(ValueError):
+            PathBasedPredictor(rows=4, cols=1, bits_per_target=3)
+
+
+class TestPerAddress:
+    def test_learns_per_branch_pattern(self):
+        """Period-3 pattern: PAs with 3+ history bits nails it; the
+        pattern is invisible to a single counter."""
+        pattern = [True, True, False]
+        seq = [(0x100, pattern[i % 3], 0) for i in range(300)]
+        p = PerAddressPredictor(rows=8, cols=1)
+        run(p, seq[:150])
+        assert run(p, seq[150:]) == 0
+
+    def test_histories_do_not_interfere_when_perfect(self):
+        seq = []
+        for i in range(200):
+            seq.append((0x100, i % 2 == 0, 0))
+            seq.append((0x200, i % 2 == 1, 0))
+        p = PerAddressPredictor(rows=4, cols=1)
+        run(p, seq[:200])
+        assert run(p, seq[200:]) == 0
+
+    def test_finite_bht_conflicts_hurt(self):
+        """Alternating pattern with BHT thrashing: conflicts reset the
+        history and mispredictions persist."""
+        seq = []
+        for i in range(400):
+            # Three branches in the same direct-mapped set of a 2-entry
+            # table: every access misses.
+            for pc in (0x100, 0x108, 0x110):
+                seq.append((pc, i % 2 == 0, 0))
+        perfect = PerAddressPredictor(rows=16, cols=1)
+        finite = PerAddressPredictor(rows=16, cols=1, bht_entries=2, bht_assoc=1)
+        run(perfect, seq[:600])
+        run(finite, seq[:600])
+        assert run(PerAddressPredictor(rows=16, cols=1), seq) < run(
+            PerAddressPredictor(rows=16, cols=1, bht_entries=2, bht_assoc=1),
+            seq,
+        )
+
+    def test_first_level_miss_rate_exposed(self):
+        p = PerAddressPredictor(rows=4, cols=1, bht_entries=2, bht_assoc=1)
+        run(p, [(0x100, True, 0)] * 10)
+        assert p.first_level_miss_rate == pytest.approx(0.1)
+
+    def test_single_column_is_pag(self):
+        assert PerAddressPredictor(rows=8, cols=1).scheme == "pag"
+        assert PerAddressPredictor(rows=8, cols=4).scheme == "pas"
+
+
+class TestTournament:
+    def test_chooser_learns_better_component(self):
+        """Alternating branch: the PAs component is perfect, the static
+        not-taken component is 50%; the tournament converges to PAs."""
+        seq = [(0x100, i % 2 == 0, 0) for i in range(400)]
+        p = TournamentPredictor(
+            component_a=StaticPredictor("not_taken"),
+            component_b=PerAddressPredictor(rows=8, cols=1),
+            chooser_rows=16,
+        )
+        run(p, seq[:200])
+        assert run(p, seq[200:]) <= 2
+
+    def test_storage_sums_components(self):
+        p = TournamentPredictor(
+            component_a=BimodalPredictor(counters=16),
+            component_b=GsharePredictor(rows=16, cols=1),
+            chooser_rows=16,
+        )
+        assert p.storage_bits == 32 + (32 + 4) + 32
+
+
+class TestDealiased:
+    def test_agree_tolerates_aliasing_of_like_biased_branches(self):
+        """Two opposite-biased branches forced onto one gshare counter:
+        plain gshare thrashes, agree does not (each agrees with its own
+        bias bit)."""
+        seq = []
+        for _ in range(200):
+            seq.append((0x100, True, 0))
+            seq.append((0x1F0, False, 0))
+        # rows=1 degenerates every index to a single shared counter:
+        # total second-level aliasing, the worst case for gshare and
+        # exactly the case agree neutralizes.
+        agree = AgreePredictor(rows=1, bias_entries=1024)
+        gshare = GsharePredictor(rows=1, cols=1)
+        wrong_agree = run(agree, seq)
+        wrong_gshare = run(gshare, seq)
+        assert wrong_agree < wrong_gshare
+
+    def test_bimode_separates_opposite_biases(self):
+        seq = []
+        for _ in range(200):
+            seq.append((0x100, True, 0))
+            seq.append((0x1F0, False, 0))
+        bimode = BiModePredictor(rows=1, choice_rows=1024)
+        gshare = GsharePredictor(rows=1, cols=1)
+        assert run(bimode, seq) < run(gshare, seq)
+
+    def test_gskew_majority_recovers_single_bank_conflict(self):
+        seq = []
+        for _ in range(300):
+            seq.append((0x100, True, 0))
+            seq.append((0x1F0, False, 0))
+        gskew = GskewPredictor(rows=16)
+        gshare = GsharePredictor(rows=16, cols=1)
+        assert run(gskew, seq) <= run(gshare, seq)
+
+    def test_reset_restores_initial(self):
+        for predictor in (
+            AgreePredictor(rows=8),
+            BiModePredictor(rows=8),
+            GskewPredictor(rows=8),
+        ):
+            before = predictor.predict(0x100)
+            predictor.update(0x100, not before)
+            predictor.update(0x100, not before)
+            predictor.reset()
+            assert predictor.predict(0x100) == before
+
+
+class TestFactoryAndTaxonomy:
+    @pytest.mark.parametrize(
+        "scheme,kwargs,expected_type",
+        [
+            ("static", {"static_policy": "btfn"}, StaticPredictor),
+            ("bimodal", {"cols": 64}, BimodalPredictor),
+            ("gag", {"rows": 64}, GlobalHistoryPredictor),
+            ("gas", {"rows": 16, "cols": 4}, GlobalHistoryPredictor),
+            ("gap", {"rows": 16}, GApPredictor),
+            ("gshare", {"rows": 64, "cols": 2}, GsharePredictor),
+            ("path", {"rows": 64, "cols": 2}, PathBasedPredictor),
+            ("pag", {"rows": 16}, PerAddressPredictor),
+            ("pas", {"rows": 16, "cols": 4}, PerAddressPredictor),
+            ("agree", {"rows": 64}, AgreePredictor),
+            ("bimode", {"rows": 64}, BiModePredictor),
+            ("gskew", {"rows": 64}, GskewPredictor),
+        ],
+    )
+    def test_factory_builds_every_scheme(self, scheme, kwargs, expected_type):
+        spec = make_predictor_spec(scheme, **kwargs)
+        assert isinstance(build_predictor(spec), expected_type)
+
+    def test_factory_tournament(self):
+        spec = make_predictor_spec(
+            "tournament",
+            component_a=make_predictor_spec("bimodal", cols=64),
+            component_b=make_predictor_spec("gshare", rows=64),
+            chooser_rows=64,
+        )
+        assert isinstance(build_predictor(spec), TournamentPredictor)
+
+    def test_taxonomy_codes(self):
+        assert taxonomy_code("gas", rows=8, cols=4) == "GAs"
+        assert taxonomy_code("gas", rows=8, cols=1) == "GAg"
+        assert taxonomy_code("pas", rows=8, cols=4) == "PAs"
+        assert taxonomy_code("pap") == "PAp"
+        assert taxonomy_code("bimodal") == "address-indexed"
+
+    def test_taxonomy_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            taxonomy_code("oracle")

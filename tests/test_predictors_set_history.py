@@ -1,0 +1,166 @@
+"""Tests for the per-set (SAg/SAs) history predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predictors import (
+    SetHistoryPredictor,
+    build_predictor,
+    make_predictor_spec,
+    taxonomy_code,
+)
+from repro.predictors.bht import reset_history
+from repro.sim import simulate_reference, simulate_vectorized
+from repro.traces import BranchTrace
+from repro.workloads import make_workload
+
+
+def run(predictor, sequence):
+    wrong = 0
+    for pc, taken, target in sequence:
+        if predictor.predict(pc, target) != taken:
+            wrong += 1
+        predictor.update(pc, taken, target)
+    return wrong
+
+
+class TestSetHistoryPredictor:
+    def test_scheme_names(self):
+        assert SetHistoryPredictor(rows=8, cols=1).scheme == "sag"
+        assert SetHistoryPredictor(rows=8, cols=4).scheme == "sas"
+
+    def test_learns_pattern_like_pas_when_unaliased(self):
+        """With one branch per set, SAs degenerates to PAs."""
+        pattern = [True, True, False]
+        seq = [(0x100, pattern[i % 3], 0) for i in range(300)]
+        p = SetHistoryPredictor(rows=8, cols=1, set_entries=64)
+        run(p, seq[:150])
+        assert run(p, seq[150:]) == 0
+
+    def test_untagged_conflicts_pollute_silently(self):
+        """A patterned branch sharing its register with a random one:
+        the intruder's bits displace the pattern bits the register
+        would otherwise hold, so a short shared register can no longer
+        resolve the pattern phase a private one nails."""
+        import random
+
+        rnd = random.Random(4)
+        pattern = [True, True, False]
+        seq = []
+        for i in range(600):
+            seq.append((0x100, pattern[i % 3], 0))  # word 0x40 -> set 0
+            seq.append((0x108, rnd.random() < 0.5, 0))  # word 0x42 -> set 0
+        # rows=4 -> a 2-bit register: privately it holds the last two
+        # pattern outcomes (enough to identify the phase of TTF);
+        # shared, one of the two bits is the intruder's noise.
+        shared = SetHistoryPredictor(rows=4, cols=2, set_entries=2)
+        private = SetHistoryPredictor(rows=4, cols=2, set_entries=64)
+        assert run(private, seq) + 50 < run(shared, seq)
+
+    def test_initial_history_is_reset_pattern(self):
+        p = SetHistoryPredictor(rows=16, cols=1, set_entries=4)
+        assert p._histories[0] == reset_history(4)
+
+    def test_reset_restores(self):
+        p = SetHistoryPredictor(rows=8, cols=1, set_entries=4)
+        run(p, [(0x100, False, 0)] * 20)
+        p.reset()
+        assert p._histories[0] == reset_history(3)
+
+    def test_storage_counts_histories(self):
+        p = SetHistoryPredictor(rows=16, cols=2, set_entries=128)
+        assert p.storage_bits == 16 * 2 * 2 + 128 * 4
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            SetHistoryPredictor(rows=12, cols=1)
+        with pytest.raises(ConfigurationError):
+            SetHistoryPredictor(rows=8, cols=1, set_entries=3)
+
+
+class TestSpecIntegration:
+    def test_factory_builds(self):
+        spec = make_predictor_spec("sas", rows=16, cols=4, bht_entries=128,
+                                   bht_assoc=1)
+        predictor = build_predictor(spec)
+        assert isinstance(predictor, SetHistoryPredictor)
+        assert predictor.set_entries == 128
+
+    def test_default_entries(self):
+        spec = make_predictor_spec("sag", rows=16)
+        assert build_predictor(spec).set_entries == 1024
+
+    def test_sag_rejects_columns(self):
+        with pytest.raises(ConfigurationError):
+            make_predictor_spec("sag", rows=16, cols=2)
+
+    def test_assoc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_predictor_spec("sas", rows=16, cols=2, bht_entries=64,
+                                bht_assoc=2)
+
+    def test_taxonomy(self):
+        assert taxonomy_code("sas", rows=8, cols=4) == "SAs"
+        assert taxonomy_code("sag", rows=8, cols=1) == "SAg"
+
+    def test_describe_mentions_sets(self):
+        spec = make_predictor_spec("sas", rows=16, cols=2, bht_entries=256,
+                                   bht_assoc=1)
+        assert "sets=256" in spec.describe()
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("cols", [1, 4])
+    def test_matches_reference_random(self, cols):
+        rng = np.random.default_rng(9)
+        pc = (0x1000 + rng.integers(0, 17, size=800) * 4).astype(np.uint64)
+        taken = rng.random(800) < 0.6
+        trace = BranchTrace(pc=pc, taken=taken, target=pc + np.uint64(16))
+        spec = make_predictor_spec(
+            "sag" if cols == 1 else "sas",
+            rows=16,
+            cols=cols,
+            bht_entries=8,
+            bht_assoc=1,
+        )
+        fast = simulate_vectorized(spec, trace)
+        slow = simulate_reference(spec, trace)
+        assert np.array_equal(fast.predictions, slow.predictions)
+
+    def test_matches_reference_workload(self):
+        trace = make_workload("compress", length=3_000, seed=8)
+        spec = make_predictor_spec("sas", rows=32, cols=2, bht_entries=64,
+                                   bht_assoc=1)
+        fast = simulate_vectorized(spec, trace)
+        slow = simulate_reference(spec, trace)
+        assert np.array_equal(fast.predictions, slow.predictions)
+
+    def test_sweepable(self):
+        from repro.sim import sweep_tiers
+
+        trace = make_workload("compress", length=2_000, seed=8)
+        surface = sweep_tiers("sas", trace, size_bits=[4], bht_entries=64)
+        assert len(surface.tier(4)) == 5
+
+
+class TestFirstLevelContrast:
+    def test_tagged_reset_beats_untagged_pollution_under_thrash(self):
+        """The paper's tagged-reset policy vs silent pollution, at
+        identical first-level sizes, on a thrashing workload: pollution
+        must not win."""
+        trace = make_workload("real_gcc", length=30_000, seed=2)
+        tagged = simulate_vectorized(
+            make_predictor_spec("pag", rows=1024, bht_entries=256,
+                                bht_assoc=1),
+            trace,
+        )
+        untagged = simulate_vectorized(
+            make_predictor_spec("sag", rows=1024, bht_entries=256,
+                                bht_assoc=1),
+            trace,
+        )
+        assert (
+            tagged.misprediction_rate
+            <= untagged.misprediction_rate + 0.01
+        )

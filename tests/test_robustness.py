@@ -1,0 +1,131 @@
+"""Cross-cutting robustness and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.traces import BranchTrace, load_trace, save_trace
+from repro.workloads import build_program, generate_trace
+from repro.workloads.profiles import (
+    LARGE_PROGRAM_MIX,
+    WorkloadProfile,
+    derive_buckets,
+)
+
+
+@st.composite
+def arbitrary_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = np.random.default_rng(seed)
+    pc = rng.integers(0, 2**30, size=n).astype(np.uint64) * 4
+    taken = rng.random(n) < draw(st.floats(0.0, 1.0))
+    target = rng.integers(0, 2**30, size=n).astype(np.uint64) * 4
+    return BranchTrace(pc=pc, taken=taken, target=target, name="ht")
+
+
+class TestTraceIoProperties:
+    @given(arbitrary_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_npz_roundtrip_exact(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("io") / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.pc, trace.pc)
+        assert np.array_equal(loaded.taken, trace.taken)
+        assert np.array_equal(loaded.target, trace.target)
+
+    @given(arbitrary_traces())
+    @settings(max_examples=10, deadline=None)
+    def test_text_roundtrip_exact(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("io") / "t.txt"
+        save_trace(trace, path)
+        loaded = load_trace(str(path))
+        assert np.array_equal(loaded.pc, trace.pc)
+        assert np.array_equal(loaded.taken, trace.taken)
+
+
+class TestLazyTopLevelApi:
+    def test_lazy_exports_resolve(self):
+        assert callable(repro.make_workload)
+        assert callable(repro.make_predictor_spec)
+        assert callable(repro.simulate)
+        assert callable(repro.sweep_tiers)
+        assert callable(repro.list_workloads)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.quantum_predictor
+
+    def test_version_is_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestGeneratorRobustness:
+    @given(
+        st.integers(40, 800),
+        st.integers(4, 200),
+        st.integers(1, 6),
+        st.integers(0, 2**20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_profiles_generate_valid_traces(
+        self, static, n90, phases, seed
+    ):
+        """Any structurally-valid profile must generate a well-formed
+        trace of the exact requested length."""
+        n90 = min(n90, static - 2)
+        if n90 < 2:
+            n90 = 2
+        profile = WorkloadProfile(
+            name="fuzz",
+            suite="custom",
+            buckets=derive_buckets(static, n90),
+            branch_fraction=0.15,
+            paper_static_branches=static,
+            paper_branches_for_90pct=n90,
+            paper_dynamic_branches=10_000,
+            behavior_mix=LARGE_PROGRAM_MIX,
+            num_phases=phases,
+        )
+        program = build_program(profile, seed=seed)
+        trace = generate_trace(program, length=2_000, seed=seed)
+        assert len(trace) == 2_000
+        assert trace.num_static_branches <= profile.static_branches
+        assert (trace.pc % 4 == 0).all()
+
+    def test_length_one_trace(self):
+        from repro.workloads import get_profile
+
+        program = build_program(get_profile("compress"), seed=1)
+        trace = generate_trace(program, length=1, seed=1)
+        assert len(trace) == 1
+
+
+class TestEndToEndDeterminism:
+    def test_same_inputs_same_experiment_output(self):
+        from repro.experiments import ExperimentOptions, run_experiment
+
+        options = ExperimentOptions(
+            length=3_000, seed=7, benchmarks=["compress"], size_bits=[4]
+        )
+        first = run_experiment("fig4", options)
+        second = run_experiment("fig4", options)
+        assert first.text == second.text
+
+    def test_engines_stay_deterministic_across_calls(self):
+        from repro.predictors import make_predictor_spec
+        from repro.sim import simulate
+        from repro.workloads import make_workload
+
+        trace = make_workload("compress", length=3_000, seed=2)
+        spec = make_predictor_spec("gshare", rows=256)
+        a = simulate(spec, trace)
+        b = simulate(spec, trace)
+        assert np.array_equal(a.predictions, b.predictions)

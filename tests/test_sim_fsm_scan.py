@@ -1,0 +1,140 @@
+"""Tests for the segmented automaton scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.predictors.counters import (
+    CounterBank,
+    counter_init_state,
+    counter_transitions,
+)
+from repro.sim.fsm_scan import scan_automaton, segmented_counter_predictions
+
+
+def sequential_scan(transitions, inputs, segment_ids, init_state):
+    """Direct per-step execution: the semantics the scan must match."""
+    states = np.empty(len(inputs), dtype=np.uint8)
+    current = {}
+    for i, (symbol, segment) in enumerate(zip(inputs, segment_ids)):
+        state = current.get(segment, init_state)
+        states[i] = state
+        current[segment] = transitions[symbol, state]
+    return states
+
+
+class TestScanAutomaton:
+    def test_empty(self):
+        out = scan_automaton(
+            counter_transitions(2), np.array([]), np.array([]), 2
+        )
+        assert len(out) == 0
+
+    def test_single_segment_counter(self):
+        transitions = counter_transitions(2)
+        inputs = np.array([1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        segments = np.zeros(6, dtype=np.int64)
+        out = scan_automaton(transitions, inputs, segments, init_state=2)
+        assert list(out) == [2, 3, 3, 2, 1, 0]
+
+    def test_segments_are_independent(self):
+        transitions = counter_transitions(2)
+        inputs = np.array([0, 0, 1, 1], dtype=np.uint8)
+        segments = np.array([0, 0, 1, 1])
+        out = scan_automaton(transitions, inputs, segments, init_state=2)
+        # Segment 1 restarts from the initial state.
+        assert list(out) == [2, 1, 2, 3]
+
+    def test_decreasing_segments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_automaton(
+                counter_transitions(2),
+                np.array([1, 1]),
+                np.array([1, 0]),
+                2,
+            )
+
+    def test_bad_init_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_automaton(
+                counter_transitions(2), np.array([1]), np.array([0]), 9
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scan_automaton(
+                counter_transitions(2),
+                np.array([1, 0]),
+                np.array([0]),
+                2,
+            )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.booleans()),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sequential_execution(self, accesses, nbits):
+        """Property: the log-time scan equals direct execution for any
+        access pattern and counter width."""
+        segments = np.array(sorted(a[0] for a in accesses))
+        inputs = np.array([int(a[1]) for a in accesses], dtype=np.uint8)
+        transitions = counter_transitions(nbits)
+        init = counter_init_state(nbits)
+        fast = scan_automaton(transitions, inputs, segments, init)
+        slow = sequential_scan(transitions, inputs, segments, init)
+        assert np.array_equal(fast, slow)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_four_input_automaton(self, seed):
+        """The scan works for any automaton, not just counters."""
+        rng = np.random.default_rng(seed)
+        transitions = rng.integers(0, 5, size=(4, 5)).astype(np.uint8)
+        n = int(rng.integers(1, 400))
+        inputs = rng.integers(0, 4, size=n).astype(np.uint8)
+        segments = np.sort(rng.integers(0, 8, size=n))
+        fast = scan_automaton(transitions, inputs, segments, init_state=0)
+        slow = sequential_scan(transitions, inputs, segments, 0)
+        assert np.array_equal(fast, slow)
+
+
+class TestSegmentedCounterPredictions:
+    def test_matches_counter_bank(self):
+        rng = np.random.default_rng(5)
+        idx = rng.integers(0, 16, size=500)
+        taken = rng.random(500) < 0.6
+        fast = segmented_counter_predictions(idx, taken)
+        bank = CounterBank(16)
+        slow = np.empty(500, dtype=bool)
+        for i in range(500):
+            slow[i] = bank.predict(int(idx[i]))
+            bank.update(int(idx[i]), bool(taken[i]))
+        assert np.array_equal(fast, slow)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            segmented_counter_predictions(
+                np.array([0, 1]), np.array([True])
+            )
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_counter_bank(self, seed, nbits):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 300))
+        idx = rng.integers(0, 8, size=n)
+        taken = rng.random(n) < 0.5
+        fast = segmented_counter_predictions(idx, taken, counter_bits=nbits)
+        bank = CounterBank(8, nbits=nbits)
+        slow = np.empty(n, dtype=bool)
+        for i in range(n):
+            slow[i] = bank.predict(int(idx[i]))
+            bank.update(int(idx[i]), bool(taken[i]))
+        assert np.array_equal(fast, slow)

@@ -1,0 +1,243 @@
+"""Tests for the trace container, I/O, and characterization statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.traces import (
+    BranchTrace,
+    TraceBuilder,
+    characterize,
+    coverage_count,
+    frequency_breakdown,
+    load_trace,
+    per_branch_counts,
+    per_branch_taken_rates,
+    save_trace,
+)
+
+
+def make_trace(records, name="t"):
+    return BranchTrace.from_records(records, name=name)
+
+
+@pytest.fixture
+def skewed_trace():
+    # Branch 0x1000 executes 90 times (all taken), 0x2000 9 times,
+    # 0x3000 once.
+    records = (
+        [(0x1000, True)] * 90 + [(0x2000, False)] * 9 + [(0x3000, True)]
+    )
+    return make_trace(records)
+
+
+class TestBranchTrace:
+    def test_length_and_iteration(self):
+        trace = make_trace([(0x100, True), (0x104, False)])
+        assert len(trace) == 2
+        rows = list(trace)
+        assert rows[0][0] == 0x100 and rows[0][1] is True
+        # Targets are static per site: both instances of a pc share one.
+        again = make_trace([(0x104, True)])
+        assert rows[1][2] == list(again)[0][2]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            BranchTrace(
+                pc=np.zeros(2, dtype=np.uint64),
+                taken=np.zeros(3, dtype=bool),
+                target=np.zeros(2, dtype=np.uint64),
+            )
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(TraceError):
+            BranchTrace(
+                pc=np.zeros((2, 2), dtype=np.uint64),
+                taken=np.zeros((2, 2), dtype=bool),
+                target=np.zeros((2, 2), dtype=np.uint64),
+            )
+
+    def test_static_branch_count(self, skewed_trace):
+        assert skewed_trace.num_static_branches == 3
+
+    def test_taken_rate(self, skewed_trace):
+        assert skewed_trace.taken_rate == pytest.approx(91 / 100)
+
+    def test_taken_rate_empty_rejected(self):
+        with pytest.raises(TraceError):
+            make_trace([]).taken_rate
+
+    def test_word_index_drops_byte_offset(self):
+        trace = make_trace([(0x100, True)])
+        assert int(trace.word_index()[0]) == 0x100 >> 2
+
+    def test_slice(self, skewed_trace):
+        sub = skewed_trace.slice(0, 90)
+        assert len(sub) == 90
+        assert sub.num_static_branches == 1
+
+    def test_concat(self):
+        a = make_trace([(0x100, True)])
+        b = make_trace([(0x200, False)])
+        both = a.concat(b)
+        assert len(both) == 2
+        assert both.num_static_branches == 2
+
+    def test_dtype_coercion(self):
+        trace = BranchTrace(
+            pc=np.array([4, 8], dtype=np.int64),
+            taken=np.array([1, 0], dtype=np.int8),
+            target=np.array([8, 12], dtype=np.int64),
+        )
+        assert trace.pc.dtype == np.uint64
+        assert trace.taken.dtype == bool
+
+
+class TestTraceBuilder:
+    def test_append_and_build(self):
+        builder = TraceBuilder(name="built")
+        builder.append(0x100, True, 0x200)
+        builder.append(0x104, False, 0x108)
+        trace = builder.build(instruction_count=10)
+        assert len(trace) == 2
+        assert trace.name == "built"
+        assert trace.instruction_count == 10
+
+    def test_extend_arrays(self):
+        builder = TraceBuilder()
+        builder.extend(
+            np.array([4, 8]), np.array([True, False]), np.array([16, 12])
+        )
+        assert len(builder) == 2
+
+    def test_extend_rejects_ragged(self):
+        builder = TraceBuilder()
+        with pytest.raises(TraceError):
+            builder.extend(np.array([4]), np.array([True, False]), np.array([8]))
+
+    def test_empty_build(self):
+        assert len(TraceBuilder().build()) == 0
+
+
+class TestIO:
+    def test_npz_roundtrip(self, tmp_path, skewed_trace):
+        path = tmp_path / "trace.npz"
+        save_trace(skewed_trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.pc, skewed_trace.pc)
+        assert np.array_equal(loaded.taken, skewed_trace.taken)
+        assert np.array_equal(loaded.target, skewed_trace.target)
+        assert loaded.name == skewed_trace.name
+
+    def test_npz_extension_added(self, tmp_path, skewed_trace):
+        path = tmp_path / "trace"
+        save_trace(skewed_trace, path)
+        assert (tmp_path / "trace.npz").exists()
+
+    def test_text_roundtrip(self, tmp_path, skewed_trace):
+        path = tmp_path / "trace.txt"
+        save_trace(skewed_trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.pc, skewed_trace.pc)
+        assert np.array_equal(loaded.taken, skewed_trace.taken)
+
+    def test_text_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0x100 1\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_text_bad_number_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0x100 yes 0x104\n")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+
+class TestPerBranchStats:
+    def test_counts_sorted_descending(self, skewed_trace):
+        pcs, counts = per_branch_counts(skewed_trace)
+        assert list(counts) == [90, 9, 1]
+        assert int(pcs[0]) == 0x1000
+
+    def test_counts_empty_rejected(self):
+        with pytest.raises(TraceError):
+            per_branch_counts(make_trace([]))
+
+    def test_taken_rates(self, skewed_trace):
+        rates = per_branch_taken_rates(skewed_trace)
+        assert rates[0x1000] == 1.0
+        assert rates[0x2000] == 0.0
+
+
+class TestCoverage:
+    def test_single_branch_covers_everything(self):
+        trace = make_trace([(0x100, True)] * 10)
+        assert coverage_count(trace, 0.90) == 1
+
+    def test_skewed_coverage(self, skewed_trace):
+        # 90 of 100 instances come from the hottest branch.
+        assert coverage_count(skewed_trace, 0.90) == 1
+        assert coverage_count(skewed_trace, 0.95) == 2
+        assert coverage_count(skewed_trace, 1.00) == 3
+
+    def test_invalid_share_rejected(self, skewed_trace):
+        with pytest.raises(TraceError):
+            coverage_count(skewed_trace, 0.0)
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_uniform_coverage(self, nbranches):
+        # With equal counts, covering share s needs ceil(s * n) branches.
+        records = [(0x100 + 4 * i, True) for i in range(nbranches)] * 4
+        trace = make_trace(records)
+        assert coverage_count(trace, 0.5) == -(-nbranches // 2)
+
+
+class TestFrequencyBreakdown:
+    def test_buckets_partition_static_branches(self, skewed_trace):
+        breakdown = frequency_breakdown(skewed_trace)
+        assert sum(breakdown.branch_counts) == breakdown.total_static == 3
+
+    def test_skewed_buckets(self, skewed_trace):
+        breakdown = frequency_breakdown(skewed_trace)
+        # Hottest branch alone covers the first 50% (and more).
+        assert breakdown.branch_counts[0] == 1
+
+    def test_shares_must_sum_to_one(self, skewed_trace):
+        with pytest.raises(TraceError):
+            frequency_breakdown(skewed_trace, shares=[0.5, 0.4])
+
+    def test_fractions_sum_to_one(self, skewed_trace):
+        fractions = frequency_breakdown(skewed_trace).fractions()
+        assert sum(fractions) == pytest.approx(1.0)
+
+
+class TestCharacterize:
+    def test_basic_fields(self, skewed_trace):
+        stats = characterize(skewed_trace)
+        assert stats.dynamic_branches == 100
+        assert stats.static_branches == 3
+        assert stats.branches_for_90pct == 1
+        # All three branches are 100%/0% biased.
+        assert stats.highly_biased_fraction == 1.0
+
+    def test_instruction_count_used_when_present(self):
+        trace = BranchTrace(
+            pc=np.array([4, 4], dtype=np.uint64),
+            taken=np.array([True, True]),
+            target=np.array([8, 8], dtype=np.uint64),
+            instruction_count=20,
+        )
+        stats = characterize(trace)
+        assert stats.dynamic_instructions == 20
+        assert stats.branch_fraction == pytest.approx(0.1)
+
+    def test_bias_threshold_respected(self):
+        # 60% taken branch is not "highly biased" at the 0.95 threshold
+        # but is at 0.55.
+        records = [(0x100, True)] * 6 + [(0x100, False)] * 4
+        trace = make_trace(records)
+        assert characterize(trace, 0.95).highly_biased_fraction == 0.0
+        assert characterize(trace, 0.55).highly_biased_fraction == 1.0

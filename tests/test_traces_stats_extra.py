@@ -1,0 +1,121 @@
+"""Tests for transition rates, run lengths, and the trace store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import BranchTrace, run_length_counts, transition_rate
+from repro.workloads import TraceStore, make_workload
+
+
+def trace_of(records):
+    return BranchTrace.from_records(records)
+
+
+class TestTransitionRate:
+    def test_constant_branch_never_transitions(self):
+        trace = trace_of([(0x100, True)] * 20)
+        assert transition_rate(trace) == 0.0
+
+    def test_alternating_branch_always_transitions(self):
+        trace = trace_of([(0x100, i % 2 == 0) for i in range(20)])
+        assert transition_rate(trace) == 1.0
+
+    def test_mixed(self):
+        # TTTN per period: 1 transition in... runs T T T | N: outcome
+        # changes twice per period of 4 (T->N and N->T).
+        pattern = [True, True, True, False]
+        trace = trace_of([(0x100, pattern[i % 4]) for i in range(400)])
+        assert transition_rate(trace) == pytest.approx(0.5, abs=0.01)
+
+    def test_interleaved_branches_independent(self):
+        # Two constant branches interleaved: no per-branch transitions
+        # even though the global stream alternates.
+        records = []
+        for _ in range(50):
+            records.append((0x100, True))
+            records.append((0x200, False))
+        assert transition_rate(trace_of(records)) == 0.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(TraceError):
+            transition_rate(trace_of([(0x100, True)]))
+
+    def test_no_repeats_rejected(self):
+        with pytest.raises(TraceError):
+            transition_rate(trace_of([(0x100, True), (0x104, True)]))
+
+
+class TestRunLengths:
+    def test_constant_branch_one_long_run(self):
+        trace = trace_of([(0x100, True)] * 10)
+        counts = run_length_counts(trace, max_length=16)
+        assert counts[10] == 1
+        assert counts.sum() == 1
+
+    def test_alternating_runs_of_one(self):
+        trace = trace_of([(0x100, i % 2 == 0) for i in range(10)])
+        counts = run_length_counts(trace)
+        assert counts[1] == 10
+
+    def test_long_runs_clipped(self):
+        trace = trace_of([(0x100, True)] * 100)
+        counts = run_length_counts(trace, max_length=8)
+        assert counts[8] == 1
+        assert len(counts) == 9
+
+    def test_loop_workload_has_long_run_tail(self):
+        trace = make_workload("compress", length=10_000, seed=1)
+        counts = run_length_counts(trace, max_length=8)
+        # Back-edges produce runs at the clipped tail.
+        assert counts[8] > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            run_length_counts(trace_of([]))
+
+
+class TestTraceStore:
+    def test_generate_then_load(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        assert not store.contains("compress", 2_000, seed=1)
+        first = store.get("compress", 2_000, seed=1)
+        assert store.contains("compress", 2_000, seed=1)
+        second = store.get("compress", 2_000, seed=1)
+        assert np.array_equal(first.pc, second.pc)
+        assert len(store.stored_files()) == 1
+
+    def test_distinct_keys_distinct_files(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        store.get("compress", 1_000, seed=1)
+        store.get("compress", 1_000, seed=2)
+        store.get("compress", 2_000, seed=1)
+        assert len(store.stored_files()) == 3
+
+    def test_missing_directory_lists_empty(self, tmp_path):
+        store = TraceStore(str(tmp_path / "nope"))
+        assert store.stored_files() == []
+
+    def test_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path / "env"))
+        store = TraceStore()
+        assert store.directory == str(tmp_path / "env")
+
+
+class TestGenerateCli:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "store")
+        code = main(
+            ["generate", "compress", "--length", "2000",
+             "--store", store_dir]
+        )
+        assert code == 0
+        assert "generated" in capsys.readouterr().out
+        code = main(
+            ["generate", "compress", "--length", "2000",
+             "--store", store_dir]
+        )
+        assert code == 0
+        assert "loaded" in capsys.readouterr().out

@@ -1,0 +1,133 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_select,
+    extract_field,
+    fold_xor,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    reverse_bits,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(3) == 0b111
+        assert mask(8) == 0xFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @given(st.integers(min_value=0, max_value=63))
+    def test_width_matches_bit_length(self, width):
+        assert mask(width).bit_length() == width
+
+
+class TestExtractField:
+    def test_low_bits(self):
+        assert extract_field(0b101101, 0, 3) == 0b101
+
+    def test_middle_bits(self):
+        assert extract_field(0b101101, 2, 3) == 0b011
+
+    def test_zero_width_field(self):
+        assert extract_field(0xFFFF, 4, 0) == 0
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ValueError):
+            extract_field(1, -1, 3)
+
+    def test_numpy_array_input(self):
+        values = np.array([0b1100, 0b0110], dtype=np.uint64)
+        out = extract_field(values, 1, 2)
+        assert list(out) == [0b10, 0b11]
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_matches_string_slicing(self, value, low, nbits):
+        expected = (value >> low) & ((1 << nbits) - 1)
+        assert extract_field(value, low, nbits) == expected
+
+
+class TestBitSelect:
+    def test_selects_individual_bits(self):
+        assert bit_select(0b100, 2) == 1
+        assert bit_select(0b100, 1) == 0
+
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(0, 20))
+    def test_is_zero_or_one(self, value, bit):
+        assert bit_select(value, bit) in (0, 1)
+
+
+class TestFoldXor:
+    def test_identity_when_narrow_enough(self):
+        assert fold_xor(0b1011, 4, 4) == 0b1011
+
+    def test_folds_high_bits(self):
+        # 8 bits folded to 4: high nibble XOR low nibble.
+        assert fold_xor(0xAB, 8, 4) == (0xA ^ 0xB)
+
+    def test_three_way_fold(self):
+        value = 0b1010_1100_0110
+        expected = 0b0110 ^ 0b1100 ^ 0b1010
+        assert fold_xor(value, 12, 4) == expected
+
+    def test_rejects_zero_target(self):
+        with pytest.raises(ValueError):
+            fold_xor(1, 8, 0)
+
+    @given(st.integers(min_value=0, max_value=2**30 - 1))
+    def test_result_fits_target_width(self, value):
+        assert fold_xor(value, 30, 7) <= mask(7)
+
+    @given(
+        st.integers(min_value=0, max_value=2**24 - 1),
+        st.integers(min_value=0, max_value=2**24 - 1),
+    )
+    def test_linearity_under_xor(self, a, b):
+        # XOR-folding is linear over GF(2).
+        assert fold_xor(a, 24, 6) ^ fold_xor(b, 24, 6) == fold_xor(a ^ b, 24, 6)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two_basics(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(32768) == 15
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_log2_roundtrip(self, exponent):
+        assert log2_exact(1 << exponent) == exponent
+
+
+class TestReverseBits:
+    def test_small_example(self):
+        assert reverse_bits(0b0011, 4) == 0b1100
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value

@@ -1,0 +1,97 @@
+"""Tests for repro.utils.rng, tables, and validation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_positive_int,
+    check_power_of_two,
+)
+
+
+class TestRng:
+    def test_derive_seed_is_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_derive_seed_depends_on_label(self):
+        assert derive_seed(42, "x") != derive_seed(42, "y")
+
+    def test_derive_seed_depends_on_seed(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_make_rng_streams_reproduce(self):
+        a = make_rng(7, "gen").integers(0, 1 << 30, size=8)
+        b = make_rng(7, "gen").integers(0, 1 << 30, size=8)
+        assert list(a) == list(b)
+
+    def test_make_rng_streams_differ_by_label(self):
+        a = make_rng(7, "one").integers(0, 1 << 30, size=8)
+        b = make_rng(7, "two").integers(0, 1 << 30, size=8)
+        assert list(a) != list(b)
+
+    @given(st.integers(min_value=0, max_value=2**60), st.text(max_size=20))
+    def test_derived_seed_in_uint64_range(self, seed, label):
+        assert 0 <= derive_seed(seed, label) < 2**64
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == ""
+
+    def test_headers_and_alignment(self):
+        text = format_table(
+            [["gshare", 4.58], ["GAs", 4.95]],
+            headers=["scheme", "mispred %"],
+        )
+        lines = text.split("\n")
+        assert lines[0].startswith("scheme")
+        assert set(lines[1]) <= {"-", " "}
+        assert "4.58" in lines[2]
+
+    def test_ragged_rows_padded(self):
+        text = format_table([["a"], ["b", "c"]])
+        assert len(text.split("\n")) == 2
+
+    def test_float_format_applied(self):
+        text = format_table([[0.123456]], float_fmt=".4f")
+        assert "0.1235" in text
+
+    def test_custom_alignment(self):
+        text = format_table([["ab", "c"]], align="rl")
+        assert text == "ab  c"
+
+
+class TestValidation:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True, "3"])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "n")
+
+    def test_nonnegative_accepts_zero(self):
+        assert check_nonnegative_int(0, "n") == 0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_nonnegative_int(-1, "n")
+
+    def test_power_of_two_accepts(self):
+        assert check_power_of_two(8, "n") == 8
+
+    @pytest.mark.parametrize("bad", [0, 3, 12])
+    def test_power_of_two_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_power_of_two(bad, "n")
+
+    def test_in_range(self):
+        assert check_in_range(0.5, "p", 0.0, 1.0) == 0.5
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.5, "p", 0.0, 1.0)

@@ -1,0 +1,128 @@
+"""Tests for the per-branch behaviour models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.behaviors import (
+    BehaviorContext,
+    BiasedBehavior,
+    CorrelatedBehavior,
+    PatternBehavior,
+    behavior_summary,
+    make_pattern,
+    population_mix_taken_rate,
+)
+
+
+def rng_for(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBiasedBehavior:
+    def test_extreme_probabilities(self):
+        ctx = BehaviorContext()
+        assert BiasedBehavior(1.0).outcomes(rng_for(), 50, ctx).all()
+        assert not BiasedBehavior(0.0).outcomes(rng_for(), 50, ctx).any()
+
+    def test_rate_close_to_p(self):
+        out = BiasedBehavior(0.7).outcomes(rng_for(1), 20_000, BehaviorContext())
+        assert abs(out.mean() - 0.7) < 0.02
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BiasedBehavior(1.5)
+
+    def test_expected_rate(self):
+        assert BiasedBehavior(0.25).expected_taken_rate() == 0.25
+
+
+class TestPatternBehavior:
+    def test_repeats_pattern(self):
+        b = PatternBehavior((True, True, False))
+        out = b.outcomes(rng_for(), 6, BehaviorContext())
+        assert list(out) == [True, True, False, True, True, False]
+
+    def test_phase_persists_across_calls_via_store(self):
+        b = PatternBehavior((True, False))
+        store = {}
+        first = b.outcomes(rng_for(), 3, BehaviorContext(store=store))
+        second = b.outcomes(rng_for(), 3, BehaviorContext(store=store))
+        combined = list(first) + list(second)
+        assert combined == [True, False, True, False, True, False]
+
+    def test_fresh_store_restarts_pattern(self):
+        # Trace generation must be a pure function of (program, seed):
+        # a new per-trace store restarts the phase.
+        b = PatternBehavior((True, False, False))
+        first = b.outcomes(rng_for(), 4, BehaviorContext(store={}))
+        second = b.outcomes(rng_for(), 4, BehaviorContext(store={}))
+        assert list(first) == list(second)
+
+    def test_short_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternBehavior((True,))
+
+    def test_expected_rate(self):
+        assert PatternBehavior((True, True, False)).expected_taken_rate() == (
+            pytest.approx(2 / 3)
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25)
+    def test_make_pattern_is_nonconstant(self, seed):
+        pattern = make_pattern(np.random.default_rng(seed))
+        assert 2 <= len(pattern) <= 6
+        assert any(pattern) and not all(pattern)
+
+
+class TestCorrelatedBehavior:
+    def test_follows_source_exactly_without_noise(self):
+        source = np.array([True, False, True, True])
+        ctx = BehaviorContext(body_outcomes={0: source})
+        b = CorrelatedBehavior(source_slot=0, invert=False, noise=0.0)
+        assert np.array_equal(b.outcomes(rng_for(), 4, ctx), source)
+
+    def test_invert(self):
+        source = np.array([True, False])
+        ctx = BehaviorContext(body_outcomes={0: source})
+        b = CorrelatedBehavior(source_slot=0, invert=True, noise=0.0)
+        assert np.array_equal(b.outcomes(rng_for(), 2, ctx), ~source)
+
+    def test_noise_flips_some(self):
+        source = np.ones(10_000, dtype=bool)
+        ctx = BehaviorContext(body_outcomes={0: source})
+        b = CorrelatedBehavior(source_slot=0, noise=0.2)
+        out = b.outcomes(rng_for(3), 10_000, ctx)
+        assert abs((~out).mean() - 0.2) < 0.02
+
+    def test_missing_source_rejected(self):
+        b = CorrelatedBehavior(source_slot=3)
+        with pytest.raises(ConfigurationError):
+            b.outcomes(rng_for(), 4, BehaviorContext())
+
+    def test_length_mismatch_rejected(self):
+        ctx = BehaviorContext(body_outcomes={0: np.array([True])})
+        with pytest.raises(ConfigurationError):
+            CorrelatedBehavior(0).outcomes(rng_for(), 4, ctx)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedBehavior(-1)
+
+
+class TestSummaries:
+    def test_behavior_summary_tokens(self):
+        assert behavior_summary(BiasedBehavior(0.5)) == "biased(0.50)"
+        assert behavior_summary(PatternBehavior((True, False))) == "pattern(TN)"
+        assert "slot=2" in behavior_summary(CorrelatedBehavior(2))
+
+    def test_population_mix(self):
+        pop = [BiasedBehavior(0.0), BiasedBehavior(1.0)]
+        assert population_mix_taken_rate(pop) == 0.5
+
+    def test_population_mix_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            population_mix_taken_rate([])

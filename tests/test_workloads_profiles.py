@@ -1,0 +1,138 @@
+"""Tests for benchmark profiles and weight construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import (
+    BUCKET_SHARES,
+    FOCUS_BENCHMARKS,
+    IBS_BENCHMARKS,
+    PROFILES,
+    SPEC_BENCHMARKS,
+    BehaviorMix,
+    bucket_weights,
+    derive_buckets,
+    get_profile,
+)
+
+
+class TestProfileSuite:
+    def test_fourteen_benchmarks(self):
+        assert len(PROFILES) == 14
+        assert len(SPEC_BENCHMARKS) == 6
+        assert len(IBS_BENCHMARKS) == 8
+
+    def test_focus_benchmarks_exist(self):
+        for name in FOCUS_BENCHMARKS:
+            assert name in PROFILES
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+    def test_table2_rows_verbatim(self):
+        assert get_profile("espresso").buckets == (12, 93, 296, 1376)
+        assert get_profile("mpeg_play").buckets == (64, 466, 1372, 3694)
+        assert get_profile("real_gcc").buckets == (327, 2877, 6398, 5749)
+
+    def test_sdet_hot_count_from_paper_text(self):
+        # "only 8 distinct branches account for 50% of its dynamic
+        # instances"
+        assert get_profile("sdet").buckets[0] == 8
+
+    def test_derived_buckets_cover_n90(self):
+        for name, profile in PROFILES.items():
+            n90ish = profile.buckets[0] + profile.buckets[1]
+            assert n90ish == pytest.approx(
+                profile.paper_branches_for_90pct, rel=0.25
+            ), name
+
+    def test_ibs_profiles_have_kernel_text(self):
+        for name in IBS_BENCHMARKS:
+            assert get_profile(name).kernel_fraction > 0
+        for name in SPEC_BENCHMARKS:
+            assert get_profile(name).kernel_fraction == 0
+
+    def test_branch_fractions_match_table1(self):
+        assert get_profile("eqntott").branch_fraction == pytest.approx(0.246)
+        assert get_profile("mpeg_play").branch_fraction == pytest.approx(0.096)
+
+
+class TestBehaviorMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            BehaviorMix(0.5, 0.5, 0.5, 0.0, 0.0)
+
+    def test_probability_tuples(self):
+        mix = BehaviorMix(0.4, 0.3, 0.1, 0.1, 0.1)
+        names, probs = zip(*mix.as_probabilities())
+        assert sum(probs) == pytest.approx(1.0)
+        assert "correlated" in names
+
+
+class TestBucketWeights:
+    def test_normalized_and_descending(self):
+        w = bucket_weights((12, 93, 296, 1376))
+        assert w.sum() == pytest.approx(1.0)
+        assert (np.diff(w) <= 1e-15).all()
+
+    def test_bucket_shares_realized(self):
+        buckets = (12, 93, 296, 1376)
+        w = bucket_weights(buckets)
+        cut1 = w[: buckets[0]].sum()
+        cut2 = w[buckets[0] : buckets[0] + buckets[1]].sum()
+        assert cut1 == pytest.approx(0.50, abs=0.01)
+        assert cut2 == pytest.approx(0.40, abs=0.01)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            bucket_weights((1, 2), shares=(0.5, 0.4, 0.1))
+
+    def test_nonpositive_bucket_rejected(self):
+        with pytest.raises(WorkloadError):
+            bucket_weights((0, 1, 1, 1))
+
+    @given(
+        st.tuples(
+            st.integers(1, 40),
+            st.integers(1, 200),
+            st.integers(1, 500),
+            st.integers(1, 2000),
+        )
+    )
+    @settings(max_examples=30)
+    def test_any_buckets_yield_valid_distribution(self, buckets):
+        w = bucket_weights(buckets)
+        assert len(w) == sum(buckets)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+
+class TestDeriveBuckets:
+    def test_partitions_population(self):
+        buckets = derive_buckets(5000, 500)
+        assert sum(buckets) == 5000
+        assert buckets[0] + buckets[1] == 500
+
+    def test_hot_count_override(self):
+        buckets = derive_buckets(5310, 506, hot_count=8)
+        assert buckets[0] == 8
+        assert sum(buckets) == 5310
+
+    def test_rejects_inconsistent_inputs(self):
+        with pytest.raises(WorkloadError):
+            derive_buckets(100, 100)
+
+    @given(st.integers(20, 30_000), st.data())
+    @settings(max_examples=40)
+    def test_always_positive_buckets(self, static, data):
+        n90 = data.draw(st.integers(2, static - 2))
+        buckets = derive_buckets(static, n90)
+        assert all(b >= 1 for b in buckets)
+        assert sum(buckets) == static
+
+    def test_share_constants(self):
+        assert sum(BUCKET_SHARES) == pytest.approx(1.0)

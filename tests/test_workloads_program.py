@@ -1,0 +1,217 @@
+"""Tests for program construction, layout, and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.traces import characterize, frequency_breakdown
+from repro.workloads import (
+    build_program,
+    generate_trace,
+    get_profile,
+    list_workloads,
+    make_workload,
+)
+from repro.workloads.layout import (
+    KERNEL_TEXT_BASE,
+    choose_taken_target,
+    place_routines,
+)
+from repro.workloads.program import _partition_sizes
+
+
+@pytest.fixture(scope="module")
+def espresso_program():
+    return build_program(get_profile("espresso"), seed=3)
+
+
+@pytest.fixture(scope="module")
+def espresso_trace(espresso_program):
+    return generate_trace(espresso_program, length=60_000, seed=3)
+
+
+class TestLayout:
+    def test_placements_word_aligned_and_disjoint(self):
+        rng = np.random.default_rng(0)
+        placements = place_routines([4, 6, 3], kernel_fraction=0.0, rng=rng)
+        all_pcs = [pc for p in placements for pc in p.branch_pcs]
+        assert len(set(all_pcs)) == len(all_pcs)
+        assert all(pc % 4 == 0 for pc in all_pcs)
+
+    def test_kernel_fraction_places_high_addresses(self):
+        rng = np.random.default_rng(0)
+        placements = place_routines([3] * 20, kernel_fraction=0.5, rng=rng)
+        kernel = [p for p in placements if p.is_kernel]
+        assert len(kernel) == 10
+        assert all(p.base >= KERNEL_TEXT_BASE for p in kernel)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            place_routines([], kernel_fraction=0.0, rng=np.random.default_rng(0))
+
+    def test_taken_targets_aligned(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            target = choose_taken_target(0x400100, 0x400000, rng)
+            assert target % 4 == 0
+
+
+class TestPartitionSizes:
+    def test_sizes_cover_total(self):
+        rng = np.random.default_rng(0)
+        sizes = _partition_sizes(100, (3, 8), rng)
+        assert sum(sizes) == 100
+
+    def test_no_trailing_singleton(self):
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            sizes = _partition_sizes(37, (2, 5), rng)
+            assert sum(sizes) == 37
+            assert sizes[-1] >= 2 or len(sizes) == 1
+
+
+class TestProgramStructure:
+    def test_branch_population_matches_profile(self, espresso_program):
+        profile = get_profile("espresso")
+        assert espresso_program.num_static_branches == profile.static_branches
+
+    def test_pcs_unique(self, espresso_program):
+        table = espresso_program.branch_table()
+        assert len(table) == espresso_program.num_static_branches
+
+    def test_every_routine_has_backedge_and_body(self, espresso_program):
+        for routine in espresso_program.routines:
+            assert routine.backedge.is_backedge
+            assert routine.backedge.behavior is None
+            assert len(routine.body) >= 1
+            assert routine.mean_trips >= 1.0
+
+    def test_inclusion_probabilities_valid(self, espresso_program):
+        for routine in espresso_program.routines:
+            for branch in routine.body:
+                assert 0.0 < branch.inclusion <= 1.0
+
+    def test_correlated_sources_precede(self, espresso_program):
+        from repro.workloads.behaviors import CorrelatedBehavior
+
+        found = 0
+        for routine in espresso_program.routines:
+            for slot, branch in enumerate(routine.body):
+                if isinstance(branch.behavior, CorrelatedBehavior):
+                    found += 1
+                    assert branch.behavior.source_slot < slot
+        assert found > 0  # espresso's mix must include correlated branches
+
+    def test_phases_cover_all_routines(self, espresso_program):
+        seen = set()
+        for members, probs in espresso_program.phases:
+            assert probs.sum() == pytest.approx(1.0)
+            seen.update(int(m) for m in members)
+        assert seen == set(range(len(espresso_program.routines)))
+
+    def test_deterministic_rebuild(self):
+        profile = get_profile("compress")
+        a = build_program(profile, seed=11)
+        b = build_program(profile, seed=11)
+        assert [r.backedge.pc for r in a.routines] == [
+            r.backedge.pc for r in b.routines
+        ]
+
+    def test_describe_mentions_counts(self, espresso_program):
+        text = espresso_program.describe()
+        assert "routines" in text and "branches" in text
+
+
+class TestGeneration:
+    def test_exact_length(self, espresso_trace):
+        assert len(espresso_trace) == 60_000
+
+    def test_deterministic(self, espresso_program):
+        a = generate_trace(espresso_program, length=5_000, seed=9)
+        b = generate_trace(espresso_program, length=5_000, seed=9)
+        assert np.array_equal(a.pc, b.pc)
+        assert np.array_equal(a.taken, b.taken)
+
+    def test_trace_seed_varies_path(self, espresso_program):
+        a = generate_trace(espresso_program, length=5_000, seed=1)
+        b = generate_trace(espresso_program, length=5_000, seed=2)
+        assert not np.array_equal(a.taken, b.taken)
+
+    def test_bad_length_rejected(self, espresso_program):
+        with pytest.raises(WorkloadError):
+            generate_trace(espresso_program, length=0)
+
+    def test_pcs_come_from_program(self, espresso_program, espresso_trace):
+        table = espresso_program.branch_table()
+        unique_pcs = np.unique(espresso_trace.pc)
+        assert all(int(pc) in table for pc in unique_pcs)
+
+    def test_targets_are_static_per_site(
+        self, espresso_program, espresso_trace
+    ):
+        table = espresso_program.branch_table()
+        pc = espresso_trace.pc
+        target = espresso_trace.target
+        # Every instance carries its site's static taken-target.
+        for i in range(0, len(espresso_trace), 997):
+            branch = table[int(pc[i])]
+            assert int(target[i]) == branch.taken_target
+
+    def test_instruction_count_reflects_branch_fraction(self, espresso_trace):
+        profile = get_profile("espresso")
+        expected = round(60_000 / profile.branch_fraction)
+        assert espresso_trace.instruction_count == expected
+
+
+class TestCalibration:
+    """The realized traces must land near the paper's Table 1/2 numbers."""
+
+    @pytest.mark.parametrize("name", ["espresso", "mpeg_play"])
+    def test_hot_buckets_match(self, name):
+        trace = make_workload(name, length=120_000, seed=1)
+        profile = get_profile(name)
+        breakdown = frequency_breakdown(trace)
+        # The 50%-bucket must match the paper's count within 50%.
+        assert breakdown.branch_counts[0] == pytest.approx(
+            profile.buckets[0], rel=0.5
+        )
+        # 90% coverage within a factor of ~1.6 of the paper's value.
+        stats = characterize(trace)
+        paper = profile.paper_branches_for_90pct
+        assert paper / 1.8 <= stats.branches_for_90pct <= paper * 1.8
+
+    def test_small_vs_large_program_contrast(self):
+        """The paper's core workload contrast must hold: IBS workloads
+        exercise far more branches than small SPEC ones."""
+        espresso = make_workload("espresso", length=120_000, seed=1)
+        real_gcc = make_workload("real_gcc", length=120_000, seed=1)
+        assert (
+            characterize(real_gcc).branches_for_90pct
+            > 8 * characterize(espresso).branches_for_90pct
+        )
+
+    def test_taken_rate_plausible(self):
+        trace = make_workload("groff", length=60_000, seed=1)
+        assert 0.45 <= trace.taken_rate <= 0.8
+
+
+class TestRegistry:
+    def test_list_workloads(self):
+        names = list_workloads()
+        assert len(names) == 14
+        assert "espresso" in names and "real_gcc" in names
+
+    def test_cache_returns_same_object(self):
+        a = make_workload("compress", length=2_000, seed=5)
+        b = make_workload("compress", length=2_000, seed=5)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = make_workload("compress", length=2_000, seed=6, cache=False)
+        b = make_workload("compress", length=2_000, seed=6, cache=False)
+        assert a is not b
+        assert np.array_equal(a.pc, b.pc)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workload("quake", length=1_000)
