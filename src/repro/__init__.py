@@ -7,6 +7,8 @@ The library provides:
 * :mod:`repro.workloads`  -- calibrated synthetic workload generator
 * :mod:`repro.predictors` -- the full two-level predictor design space
 * :mod:`repro.sim`        -- scalar reference + vectorized numpy engines
+* :mod:`repro.runtime`    -- resilient runs: checkpoints, deadlines,
+  engine guarding, fault injection
 * :mod:`repro.aliasing`   -- aliasing instrumentation and classification
 * :mod:`repro.analysis`   -- surfaces, best-config selection, rendering
 * :mod:`repro.experiments`-- one module per paper table/figure
@@ -23,9 +25,11 @@ Quickstart::
 
 from repro._version import __version__
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     ExperimentError,
     ReproError,
+    SimulationError,
     TraceError,
     WorkloadError,
 )
@@ -38,6 +42,8 @@ __all__ = [
     "TraceError",
     "WorkloadError",
     "ExperimentError",
+    "SimulationError",
+    "CheckpointError",
     "BranchTrace",
     "characterize",
     "load_trace",

@@ -53,6 +53,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "and difference grids; other artifacts are unsupported)"
         ),
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "stream completed sweep points to journals under DIR; an "
+            "interrupted run re-invoked with the same options resumes "
+            "instead of restarting"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "restore progress from existing checkpoint journals "
+            "(--no-resume discards them; only meaningful with "
+            "--checkpoint-dir)"
+        ),
+    )
+    run.add_argument(
+        "--paranoid",
+        action="store_true",
+        help=(
+            "cross-check the vectorized engine against the scalar "
+            "reference on a trace prefix at every sweep point"
+        ),
+    )
 
     characterize = sub.add_parser(
         "characterize", help="Table-1 style statistics for one workload"
@@ -85,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--bht-assoc", type=int, default=4)
     simulate.add_argument("--engine", default="auto",
                           choices=("auto", "vectorized", "reference"))
+    simulate.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="cross-check vectorized vs reference engines on a prefix",
+    )
     _add_trace_options(simulate)
     return parser
 
@@ -104,13 +137,27 @@ def _add_trace_options(
     parser.add_argument("--seed", type=int, default=0)
 
 
+#: Exit codes: deliberate library errors get 2 (one-line message, no
+#: traceback); an interrupt gets the conventional 128+SIGINT after any
+#: open checkpoint journal has been flushed.
+EXIT_ERROR = 2
+EXIT_INTERRUPT = 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        from repro.runtime.checkpoint import flush_open_journals
+
+        flushed = flush_open_journals()
+        note = " (checkpoint journal flushed)" if flushed else ""
+        print(f"interrupted{note}", file=sys.stderr)
+        return EXIT_INTERRUPT
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -148,6 +195,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             seed=args.seed,
             benchmarks=args.benchmarks,
             size_bits=tuple(args.sizes) if args.sizes else DEFAULT_SIZE_BITS,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            paranoid=args.paranoid,
         )
         result = run_experiment(args.experiment, options)
         result.show()
@@ -222,7 +272,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                 length=args.length or DEFAULT_LENGTH,
                 seed=args.seed,
             )
-            result = simulate(spec, trace, engine=args.engine)
+            result = simulate(
+                spec, trace, engine=args.engine, paranoid=args.paranoid
+            )
             line = (
                 f"{benchmark:12s} {spec.describe():40s} "
                 f"mispredict={result.misprediction_rate:.2%}"

@@ -32,3 +32,21 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment could not be assembled or executed."""
+
+
+class SimulationError(ReproError):
+    """A simulation engine failed or produced an invalid result.
+
+    Examples: the vectorized engine raising mid-scan, a result whose
+    misprediction count falls outside ``[0, len(trace)]``, or a paranoid
+    cross-check disagreeing with the reference engine.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal is corrupt, mismatched, or unwritable.
+
+    Examples: a journal whose content hash does not match its payload,
+    a resume attempted against a journal written for a different sweep
+    key, or a journal directory that cannot be created.
+    """

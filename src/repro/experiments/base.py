@@ -28,12 +28,29 @@ class ExperimentOptions:
     ``length``/``seed`` control trace generation; ``benchmarks`` and
     ``size_bits`` default to whatever the paper used for the artifact
     (each experiment module narrows them).
+
+    The runtime fields make long runs resilient: ``checkpoint_dir``
+    streams every completed sweep point to an atomic journal (and
+    ``resume`` restores prior progress from it); ``paranoid``
+    cross-checks the vectorized engine against the scalar reference on
+    every point (see :mod:`repro.runtime`).
     """
 
     length: int = DEFAULT_LENGTH
     seed: int = 0
     benchmarks: Optional[Sequence[str]] = None
     size_bits: Sequence[int] = DEFAULT_SIZE_BITS
+    checkpoint_dir: Optional[str] = None
+    resume: bool = True
+    paranoid: bool = False
+
+    def sweep_kwargs(self) -> Dict[str, Any]:
+        """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
+        return {
+            "checkpoint_dir": self.checkpoint_dir,
+            "resume": self.resume,
+            "paranoid": self.paranoid,
+        }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:
         names = list(self.benchmarks) if self.benchmarks else list(default)

@@ -23,8 +23,14 @@ def diff_experiment(
     names = options.resolve_benchmarks([benchmark])
     trace = options.trace(names[0])
 
-    base = sweep_tiers(base_scheme, trace, size_bits=options.size_bits)
-    other = sweep_tiers(other_scheme, trace, size_bits=options.size_bits)
+    base = sweep_tiers(
+        base_scheme, trace, size_bits=options.size_bits,
+        **options.sweep_kwargs(),
+    )
+    other = sweep_tiers(
+        other_scheme, trace, size_bits=options.size_bits,
+        **options.sweep_kwargs(),
+    )
     grid = diff_surfaces(base, other)
 
     max_rows = max(options.size_bits)

@@ -38,6 +38,7 @@ def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
             size_bits=options.size_bits,
             bht_entries=entries,
             bht_assoc=4,
+            **options.sweep_kwargs(),
         )
         key = f"{entries} entries 4-way"
         surfaces[key] = surface

@@ -29,7 +29,8 @@ def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
     for name in benchmarks:
         trace = options.trace(name)
         surface = sweep_tiers(
-            "gas", trace, size_bits=size_bits, row_bits_filter=[0]
+            "gas", trace, size_bits=size_bits, row_bits_filter=[0],
+            **options.sweep_kwargs(),
         )
         series[name] = [
             surface.point(n, 0).misprediction_rate for n in size_bits

@@ -31,7 +31,8 @@ def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
         rates = []
         for n in size_bits:
             surface = sweep_tiers(
-                "gas", trace, size_bits=[n], row_bits_filter=[n]
+                "gas", trace, size_bits=[n], row_bits_filter=[n],
+                **options.sweep_kwargs(),
             )
             rates.append(surface.point(n, n).misprediction_rate)
         series[name] = rates

@@ -79,5 +79,18 @@ def experiment_title(experiment_id: str) -> str:
 def run_experiment(
     experiment_id: str, options: Optional[ExperimentOptions] = None
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(options)
+    """Run one experiment by id.
+
+    When ``options.checkpoint_dir`` is set the experiment's sweeps
+    stream completed points to on-disk journals and resume from them;
+    whatever interrupts the run (Ctrl-C, a deadline, an engine error),
+    every open journal is flushed before the exception propagates, so
+    completed work is never lost.
+    """
+    try:
+        return get_experiment(experiment_id)(options)
+    except BaseException:
+        from repro.runtime.checkpoint import flush_open_journals
+
+        flush_open_journals()
+        raise

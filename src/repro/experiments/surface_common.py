@@ -33,6 +33,7 @@ def surface_experiment(
             size_bits=options.size_bits,
             bht_entries=bht_entries,
             bht_assoc=bht_assoc,
+            **options.sweep_kwargs(),
         )
         surfaces[name] = surface
         blocks.append(render_surface(surface))

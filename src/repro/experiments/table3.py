@@ -54,6 +54,7 @@ def run(options: Optional[ExperimentOptions] = None) -> ExperimentResult:
                 size_bits=size_bits,
                 bht_entries=bht_entries,
                 bht_assoc=4,
+                **options.sweep_kwargs(),
             )
         rows = best_configurations(name, surfaces, size_bits=size_bits)
         all_rows[name] = rows

@@ -4,9 +4,7 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.predictors.specs import PredictorSpec
-from repro.sim.reference import simulate_reference
 from repro.sim.results import SimulationResult
-from repro.sim.vectorized import has_vectorized_engine, simulate_vectorized
 from repro.traces.trace import BranchTrace
 
 ENGINES = ("auto", "vectorized", "reference")
@@ -16,21 +14,25 @@ def simulate(
     spec: PredictorSpec,
     trace: BranchTrace,
     engine: str = "auto",
+    paranoid: bool = False,
 ) -> SimulationResult:
     """Simulate one predictor configuration over one trace.
 
     ``engine="auto"`` (default) uses the vectorized engine whenever the
     scheme has one and falls back to the scalar reference loop
-    otherwise (currently only bi-mode requires the fallback).
+    otherwise — including when the vectorized engine crashes or
+    produces a result failing cheap invariants (a structured warning is
+    logged; see :mod:`repro.runtime.guard`). ``engine="vectorized"``
+    never degrades: its failures raise
+    :class:`~repro.errors.SimulationError`.
+
+    ``paranoid=True`` additionally cross-checks the two engines
+    prediction-by-prediction on a bounded trace prefix.
     """
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {ENGINES}"
         )
-    if engine == "reference":
-        return simulate_reference(spec, trace)
-    if engine == "vectorized":
-        return simulate_vectorized(spec, trace)
-    if has_vectorized_engine(spec):
-        return simulate_vectorized(spec, trace)
-    return simulate_reference(spec, trace)
+    from repro.runtime.guard import guarded_simulate
+
+    return guarded_simulate(spec, trace, engine=engine, paranoid=paranoid)

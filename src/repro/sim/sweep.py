@@ -4,13 +4,23 @@ For a budget of 2^n counters the paper simulates every split into 2^c
 columns x 2^r rows with c + r = n; repeating that for n = 4 .. 15 gives
 the surfaces of Figures 4, 5, 6 and 9. ``sweep_tiers`` runs exactly
 that grid for one scheme over one trace.
+
+At realistic trace lengths a full sweep is hours of work, so it is
+resumable: give ``sweep_tiers`` a ``checkpoint_dir`` and every
+completed point streams to an atomic on-disk journal
+(:mod:`repro.runtime.checkpoint`); a re-run with the same
+``(scheme, trace fingerprint, options)`` key picks up where the last
+run stopped. SIGINT finishes the in-flight point, flushes the journal,
+and exits cleanly; an optional ``deadline`` bounds the run the same
+way.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.predictors.specs import PER_ADDRESS_SCHEMES, PredictorSpec
 from repro.sim.engine import simulate
 from repro.sim.results import TierPoint, TierSurface
@@ -68,6 +78,45 @@ def spec_for_point(
     )
 
 
+def _open_sweep_journal(
+    checkpoint_dir: str,
+    scheme: str,
+    trace: BranchTrace,
+    size_bits: Sequence[int],
+    bht_entries: Optional[int],
+    bht_assoc: int,
+    row_bits_filter: Optional[Sequence[int]],
+    resume: bool,
+):
+    """Create/resume the journal for this sweep's key."""
+    from repro.runtime.checkpoint import CheckpointJournal, sweep_key
+    from repro.runtime.deadline import retry_with_backoff
+
+    key = sweep_key(
+        scheme,
+        trace.fingerprint(),
+        size_bits,
+        bht_entries=bht_entries,
+        bht_assoc=bht_assoc,
+        row_bits_filter=row_bits_filter,
+    )
+    try:
+        retry_with_backoff(
+            lambda: os.makedirs(checkpoint_dir, exist_ok=True)
+        )
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot create checkpoint dir {checkpoint_dir!r}: {exc}"
+        ) from exc
+    safe_name = "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in trace.name
+    )
+    path = os.path.join(
+        checkpoint_dir, f"{scheme}-{safe_name}-{key}.journal"
+    )
+    return CheckpointJournal.open(path, key, resume=resume)
+
+
 def sweep_tiers(
     scheme: str,
     trace: BranchTrace,
@@ -76,6 +125,10 @@ def sweep_tiers(
     bht_assoc: int = 4,
     engine: str = "auto",
     row_bits_filter: Optional[Sequence[int]] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
+    paranoid: bool = False,
+    deadline=None,
 ) -> TierSurface:
     """Simulate every (columns x rows) split of every requested tier.
 
@@ -90,29 +143,81 @@ def sweep_tiers(
     row_bits_filter:
         Restrict each tier to these row exponents (used by difference
         grids and quick tests); default sweeps the full tier.
+    checkpoint_dir:
+        Stream completed points to a journal under this directory and
+        (with ``resume=True``, the default) restore any points a prior
+        run of the same sweep already finished.
+    paranoid:
+        Cross-check vectorized vs reference engines per point.
+    deadline:
+        Optional :class:`repro.runtime.deadline.Deadline`; when it
+        expires the sweep flushes its journal and raises
+        :class:`~repro.runtime.deadline.DeadlineExceeded`.
     """
+    from repro.runtime.deadline import CooperativeInterrupt
+    from repro.runtime.faults import maybe_inject
+
+    size_bits = list(size_bits)
+    journal = None
+    restored: Dict[Tuple[int, int], TierPoint] = {}
+    if checkpoint_dir is not None:
+        journal = _open_sweep_journal(
+            checkpoint_dir,
+            scheme,
+            trace,
+            size_bits,
+            bht_entries,
+            bht_assoc,
+            row_bits_filter,
+            resume,
+        )
+        restored = {(n, p.row_bits): p for n, p in journal.points}
+
     surface = TierSurface(scheme=scheme, trace_name=trace.name)
-    for n in size_bits:
-        for row_bits in range(n + 1):
-            if row_bits_filter is not None and row_bits not in row_bits_filter:
-                continue
-            spec = spec_for_point(
-                scheme,
-                col_bits=n - row_bits,
-                row_bits=row_bits,
-                bht_entries=bht_entries,
-                bht_assoc=bht_assoc,
-            )
-            result = simulate(spec, trace, engine=engine)
-            surface.add(
-                n,
-                TierPoint(
-                    col_bits=n - row_bits,
-                    row_bits=row_bits,
-                    misprediction_rate=result.misprediction_rate,
-                    first_level_miss_rate=result.first_level_miss_rate,
-                ),
-            )
+    try:
+        with CooperativeInterrupt() as interrupt:
+            for n in size_bits:
+                for row_bits in range(n + 1):
+                    if (
+                        row_bits_filter is not None
+                        and row_bits not in row_bits_filter
+                    ):
+                        continue
+                    done = restored.get((n, row_bits))
+                    if done is not None:
+                        surface.add(n, done)
+                        continue
+                    if deadline is not None:
+                        deadline.check(f"sweep_tiers({scheme})")
+                    interrupt.checkpoint()
+                    maybe_inject("sweep.point")
+                    spec = spec_for_point(
+                        scheme,
+                        col_bits=n - row_bits,
+                        row_bits=row_bits,
+                        bht_entries=bht_entries,
+                        bht_assoc=bht_assoc,
+                    )
+                    result = simulate(
+                        spec, trace, engine=engine, paranoid=paranoid
+                    )
+                    point = TierPoint(
+                        col_bits=n - row_bits,
+                        row_bits=row_bits,
+                        misprediction_rate=result.misprediction_rate,
+                        first_level_miss_rate=result.first_level_miss_rate,
+                    )
+                    surface.add(n, point)
+                    if journal is not None:
+                        journal.append(n, point)
+    except BaseException:
+        # Interrupt, deadline, engine error: persist completed points
+        # so the re-run resumes instead of restarting.
+        if journal is not None:
+            journal.flush()
+        raise
+    if journal is not None:
+        journal.flush()
     return surface
 
 
@@ -123,6 +228,7 @@ def sweep_shapes(
     bht_entries: Optional[int] = None,
     bht_assoc: int = 4,
     engine: str = "auto",
+    paranoid: bool = False,
 ) -> List[TierPoint]:
     """Simulate an explicit list of (col_bits, row_bits) shapes."""
     points = []
@@ -134,7 +240,7 @@ def sweep_shapes(
             bht_entries=bht_entries,
             bht_assoc=bht_assoc,
         )
-        result = simulate(spec, trace, engine=engine)
+        result = simulate(spec, trace, engine=engine, paranoid=paranoid)
         points.append(
             TierPoint(
                 col_bits=col_bits,

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_ERROR, EXIT_INTERRUPT, main
+from repro.runtime import clear_faults, install_faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    yield
+    clear_faults()
 
 
 class TestListing:
@@ -37,7 +44,7 @@ class TestRun:
         assert "2^6" in capsys.readouterr().out
 
     def test_unknown_experiment_errors(self, capsys):
-        assert main(["run", "fig99", "--length", "1000"]) == 1
+        assert main(["run", "fig99", "--length", "1000"]) == EXIT_ERROR
         assert "unknown experiment" in capsys.readouterr().err
 
 
@@ -50,7 +57,7 @@ class TestCharacterize:
         assert "50/40/9/1" in out
 
     def test_unknown_benchmark(self, capsys):
-        assert main(["characterize", "doom", "--length", "100"]) == 1
+        assert main(["characterize", "doom", "--length", "100"]) == EXIT_ERROR
 
 
 class TestSimulate:
@@ -80,4 +87,64 @@ class TestSimulate:
             ["simulate", "--scheme", "gag", "--rows", "12",
              "--length", "100"]
         )
-        assert code == 1
+        assert code == EXIT_ERROR
+
+    def test_error_is_one_line_without_traceback(self, capsys):
+        assert main(["run", "fig99", "--length", "100"]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+
+class TestResilience:
+    RUN = ["run", "fig4", "--length", "2000",
+           "--benchmark", "compress", "--sizes", "4"]
+
+    def test_interrupt_exits_130_and_flushes_journal(self, tmp_path, capsys):
+        install_faults("sweep.point:interrupt@3")
+        code = main(self.RUN + ["--checkpoint-dir", str(tmp_path)])
+        assert code == EXIT_INTERRUPT
+        assert "interrupted" in capsys.readouterr().err
+        journals = list(tmp_path.glob("*.journal"))
+        assert len(journals) == 1
+        # Two points completed before the injected Ctrl-C.
+        assert sum(
+            1 for line in journals[0].read_text().splitlines()
+            if '"point"' in line
+        ) == 2
+
+    def test_interrupted_run_resumes_to_identical_output(
+        self, tmp_path, capsys
+    ):
+        assert main(self.RUN) == 0
+        baseline = capsys.readouterr().out
+        install_faults("sweep.point:interrupt@3")
+        assert (
+            main(self.RUN + ["--checkpoint-dir", str(tmp_path)])
+            == EXIT_INTERRUPT
+        )
+        clear_faults()
+        capsys.readouterr()
+        assert main(self.RUN + ["--checkpoint-dir", str(tmp_path)]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_no_resume_discards_journal(self, tmp_path, capsys):
+        install_faults("sweep.point:interrupt@3")
+        main(self.RUN + ["--checkpoint-dir", str(tmp_path)])
+        clear_faults()
+        code = main(
+            self.RUN + ["--checkpoint-dir", str(tmp_path), "--no-resume"]
+        )
+        assert code == 0
+
+    def test_paranoid_run_succeeds(self, capsys):
+        assert main(self.RUN + ["--paranoid"]) == 0
+        assert "2^4" in capsys.readouterr().out
+
+    def test_engine_fault_degrades_instead_of_dying(self, capsys):
+        assert main(self.RUN) == 0
+        baseline = capsys.readouterr().out
+        install_faults("engine.vectorized:raise")
+        assert main(self.RUN) == 0
+        assert capsys.readouterr().out == baseline

@@ -2,7 +2,7 @@
 
 import csv
 
-from repro.cli import main
+from repro.cli import EXIT_ERROR, main
 
 
 class TestRunExport:
@@ -53,5 +53,5 @@ class TestRunExport:
                 "--benchmark", "compress", "--export", str(out),
             ]
         )
-        assert code == 1
+        assert code == EXIT_ERROR
         assert "no CSV-exportable" in capsys.readouterr().err

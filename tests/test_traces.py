@@ -131,10 +131,35 @@ class TestIO:
         assert np.array_equal(loaded.target, skewed_trace.target)
         assert loaded.name == skewed_trace.name
 
-    def test_npz_extension_added(self, tmp_path, skewed_trace):
+    def test_npz_extension_added_and_reported(self, tmp_path, skewed_trace):
         path = tmp_path / "trace"
-        save_trace(skewed_trace, path)
+        written = save_trace(skewed_trace, path)
+        assert written == str(tmp_path / "trace.npz")
         assert (tmp_path / "trace.npz").exists()
+        load_trace(written)  # the returned path is directly loadable
+
+    def test_save_returns_exact_path_when_extension_given(
+        self, tmp_path, skewed_trace
+    ):
+        for name in ("t.npz", "t.txt"):
+            path = tmp_path / name
+            assert save_trace(skewed_trace, path) == str(path)
+
+    def test_save_leaves_no_temp_files(self, tmp_path, skewed_trace):
+        save_trace(skewed_trace, tmp_path / "a.npz")
+        save_trace(skewed_trace, tmp_path / "b.txt")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_mismatched_lengths_rejected_on_load(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            pc=np.zeros(3, dtype=np.uint64),
+            taken=np.zeros(2, dtype=bool),
+            target=np.zeros(3, dtype=np.uint64),
+        )
+        with pytest.raises(TraceError, match="mismatched array lengths"):
+            load_trace(path)
 
     def test_text_roundtrip(self, tmp_path, skewed_trace):
         path = tmp_path / "trace.txt"
