@@ -9,6 +9,8 @@ The library provides:
 * :mod:`repro.sim`        -- scalar reference + vectorized numpy engines
 * :mod:`repro.runtime`    -- resilient runs: checkpoints, deadlines,
   engine guarding, fault injection
+* :mod:`repro.obs`        -- observability: span tracing, metrics,
+  structured logging, run reports, progress
 * :mod:`repro.aliasing`   -- aliasing instrumentation and classification
 * :mod:`repro.analysis`   -- surfaces, best-config selection, rendering
 * :mod:`repro.experiments`-- one module per paper table/figure

@@ -38,6 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id, e.g. fig4")
     _add_trace_options(run)
+    _add_obs_options(run)
     run.add_argument(
         "--sizes",
         type=int,
@@ -119,7 +120,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-check vectorized vs reference engines on a prefix",
     )
     _add_trace_options(simulate)
+    _add_obs_options(simulate)
+
+    obs = sub.add_parser("obs", help="inspect saved telemetry files")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="pretty-print a --metrics-out JSON or --trace-out JSONL file",
+    )
+    summarize.add_argument("path", help="metrics or span-trace file")
     return parser
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by the long-running commands."""
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="verbosity of repro.* structured logging on stderr",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("kv", "json"),
+        default="kv",
+        help="log line format: message + key=value pairs, or JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write completed telemetry spans to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write end-of-run counters/histograms/span timings to PATH "
+        "as JSON (readable via `repro obs summarize`)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="periodic stderr heartbeat with points done/total and ETA",
+    )
 
 
 def _add_trace_options(
@@ -146,18 +190,52 @@ EXIT_INTERRUPT = 130
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    from repro.obs import get_logger, get_tracer, reset_metrics, setup_logging
+
+    setup_logging(
+        getattr(args, "log_level", "warning"),
+        getattr(args, "log_format", "kv"),
+    )
+    diag = get_logger("repro.cli")
+    reset_metrics()
+    tracer = get_tracer()
+    tracer.reset()
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        tracer.configure_sink(trace_out)
     try:
-        return _dispatch(args)
+        code = _dispatch(args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return EXIT_ERROR
+        diag.error("error: %s", error)
+        code = EXIT_ERROR
     except KeyboardInterrupt:
         from repro.runtime.checkpoint import flush_open_journals
 
         flushed = flush_open_journals()
         note = " (checkpoint journal flushed)" if flushed else ""
-        print(f"interrupted{note}", file=sys.stderr)
-        return EXIT_INTERRUPT
+        diag.error("interrupted%s", note)
+        code = EXIT_INTERRUPT
+    except BrokenPipeError:
+        # Downstream `head`/pager closed our stdout: exit quietly with
+        # the conventional 128+SIGPIPE, not a traceback. Point stdout
+        # at devnull so the interpreter's shutdown flush stays silent.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 128 + 13
+    finally:
+        if trace_out:
+            tracer.close_sink()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        try:
+            from repro.obs.report import write_metrics
+
+            write_metrics(metrics_out)
+        except (ReproError, OSError) as error:
+            diag.error("error: cannot write metrics: %s", error)
+            code = code or EXIT_ERROR
+    return code
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -182,6 +260,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         return 0
 
+    if args.command == "obs":
+        from repro.obs.report import summarize_path
+
+        print(summarize_path(args.path))
+        return 0
+
     if args.command == "run":
         from repro.experiments.base import (
             DEFAULT_LENGTH,
@@ -190,6 +274,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         from repro.experiments.runner import run_experiment
 
+        on_point = None
+        if args.progress:
+            from repro.obs.progress import ProgressReporter
+
+            on_point = ProgressReporter(label=args.experiment).on_point
         options = ExperimentOptions(
             length=args.length or DEFAULT_LENGTH,
             seed=args.seed,
@@ -198,6 +287,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             paranoid=args.paranoid,
+            on_point=on_point,
         )
         result = run_experiment(args.experiment, options)
         result.show()
@@ -266,7 +356,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             bht_entries=args.bht_entries,
             bht_assoc=args.bht_assoc,
         )
-        for benchmark in args.benchmarks or ["espresso"]:
+        reporter = None
+        if args.progress:
+            from repro.obs.progress import ProgressReporter
+
+            reporter = ProgressReporter(label="simulate")
+        benchmarks = args.benchmarks or ["espresso"]
+        for index, benchmark in enumerate(benchmarks):
             trace = make_workload(
                 benchmark,
                 length=args.length or DEFAULT_LENGTH,
@@ -275,6 +371,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             result = simulate(
                 spec, trace, engine=args.engine, paranoid=args.paranoid
             )
+            if reporter is not None:
+                reporter.update(index + 1, len(benchmarks), detail=benchmark)
             line = (
                 f"{benchmark:12s} {spec.describe():40s} "
                 f"mispredict={result.misprediction_rate:.2%}"

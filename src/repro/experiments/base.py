@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.traces.trace import BranchTrace
@@ -33,7 +33,9 @@ class ExperimentOptions:
     streams every completed sweep point to an atomic journal (and
     ``resume`` restores prior progress from it); ``paranoid``
     cross-checks the vectorized engine against the scalar reference on
-    every point (see :mod:`repro.runtime`).
+    every point (see :mod:`repro.runtime`). ``on_point`` is the
+    sweep progress hook ``on_point(point, done, total)`` — the CLI's
+    ``--progress`` heartbeat plugs in here (see :mod:`repro.obs`).
     """
 
     length: int = DEFAULT_LENGTH
@@ -43,6 +45,7 @@ class ExperimentOptions:
     checkpoint_dir: Optional[str] = None
     resume: bool = True
     paranoid: bool = False
+    on_point: Optional[Callable[[Any, int, int], None]] = None
 
     def sweep_kwargs(self) -> Dict[str, Any]:
         """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
@@ -50,6 +53,7 @@ class ExperimentOptions:
             "checkpoint_dir": self.checkpoint_dir,
             "resume": self.resume,
             "paranoid": self.paranoid,
+            "on_point": self.on_point,
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:

@@ -87,8 +87,11 @@ def run_experiment(
     every open journal is flushed before the exception propagates, so
     completed work is never lost.
     """
+    from repro.obs.spans import span
+
     try:
-        return get_experiment(experiment_id)(options)
+        with span("experiment", id=experiment_id):
+            return get_experiment(experiment_id)(options)
     except BaseException:
         from repro.runtime.checkpoint import flush_open_journals
 

@@ -1,0 +1,78 @@
+"""Observability: spans, metrics, structured logging, reports, progress.
+
+A dependency-free telemetry layer the simulation and runtime stack
+report into (see the per-module docs):
+
+* :mod:`repro.obs.spans`    -- nested wall-clock span tracing with an
+  in-memory tree and an optional JSONL trace sink;
+* :mod:`repro.obs.metrics`  -- process-local counters / gauges /
+  histograms in one global registry;
+* :mod:`repro.obs.logging`  -- key=value or JSON structured logging for
+  the ``repro.*`` namespace;
+* :mod:`repro.obs.report`   -- end-of-run summary tables and the
+  ``run_metrics.json`` artifact (``repro obs summarize`` reads both);
+* :mod:`repro.obs.progress` -- throttled stderr heartbeats with ETA.
+
+Instrumentation is always on but fires per sweep point / engine call
+(never per branch), so its cost is noise; the file sinks and log
+verbosity are opt-in via the CLI flags ``--trace-out``,
+``--metrics-out``, ``--progress``, and ``--log-level``.
+"""
+
+from repro.obs.logging import get_logger, setup_logging, teardown_logging
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    reset_metrics,
+    snapshot,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.report import (
+    METRICS_SCHEMA,
+    collect,
+    render_summary,
+    summarize_path,
+    write_metrics,
+)
+from repro.obs.spans import (
+    TRACE_SCHEMA,
+    SpanRecord,
+    SpanTracer,
+    get_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    "get_logger",
+    "setup_logging",
+    "teardown_logging",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "reset_metrics",
+    "snapshot",
+    "ProgressReporter",
+    "METRICS_SCHEMA",
+    "collect",
+    "render_summary",
+    "summarize_path",
+    "write_metrics",
+    "TRACE_SCHEMA",
+    "SpanRecord",
+    "SpanTracer",
+    "get_tracer",
+    "span",
+    "traced",
+]

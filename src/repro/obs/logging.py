@@ -1,0 +1,134 @@
+"""Structured logging for the ``repro.*`` namespace.
+
+Library modules just call :func:`get_logger` and log; nothing here runs
+at import time, so embedding applications keep full control of their
+own logging tree. The CLI (and any process that wants the same
+behaviour) calls :func:`setup_logging` once, which attaches exactly one
+stderr handler to the ``repro`` logger with either of two formats:
+
+* ``kv``   -- the message as written, with any ``extra={"kv": {...}}``
+  mapping appended as ``key=value`` pairs. User-facing one-liners
+  (``error: ...``) render byte-identically to the old ``print`` paths.
+* ``json`` -- one JSON object per line (``ts``, ``level``, ``logger``,
+  ``msg``, plus the ``kv`` mapping), for log shippers.
+
+The handler resolves ``sys.stderr`` at *emit* time, so stream
+redirection (pytest's capsys, shell re-execs) always lands in the
+current stderr. Propagation to the root logger stays on: test fixtures
+like ``caplog`` keep working, and the handler's presence suppresses
+``logging.lastResort`` double-printing.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional, TextIO
+
+LEVELS = ("debug", "info", "warning", "error")
+FORMATS = ("kv", "json")
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``<message> key=value ...`` — message first, context appended."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        kv = getattr(record, "kv", None)
+        if kv:
+            pairs = " ".join(f"{key}={value}" for key, value in kv.items())
+            message = f"{message} {pairs}"
+        if record.exc_info:
+            message = f"{message}\n{self.formatException(record.exc_info)}"
+        return message
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        kv = getattr(record, "kv", None)
+        if kv:
+            payload.update({str(k): _jsonable(v) for k, v in kv.items()})
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler bound to whatever ``sys.stderr`` is *right now*."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        logging.Handler.__init__(self)
+        self._fixed_stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        return self._fixed_stream if self._fixed_stream is not None else sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.__init__ compat
+        self._fixed_stream = value
+
+
+#: The handler installed by the last ``setup_logging`` call, if any.
+_installed_handler: Optional[logging.Handler] = None
+
+
+def setup_logging(
+    level: str = "warning",
+    fmt: str = "kv",
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger; idempotent (replaces, not stacks).
+
+    ``stream=None`` (default) follows ``sys.stderr`` dynamically.
+    """
+    global _installed_handler
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LEVELS}")
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; choose from {FORMATS}")
+    logger = logging.getLogger("repro")
+    if _installed_handler is not None:
+        logger.removeHandler(_installed_handler)
+    handler = _DynamicStderrHandler(stream)
+    handler.setFormatter(JsonFormatter() if fmt == "json" else KeyValueFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, level.upper()))
+    _installed_handler = handler
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro`` namespace (no configuration side effects)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def teardown_logging() -> None:
+    """Remove the installed handler (tests)."""
+    global _installed_handler
+    if _installed_handler is not None:
+        logging.getLogger("repro").removeHandler(_installed_handler)
+        _installed_handler = None
+
+
+def now() -> float:
+    """Wall-clock seconds (one place to stub in tests)."""
+    return time.time()

@@ -1,0 +1,189 @@
+"""Process-local counters, gauges, and histograms.
+
+The runtime and simulation layers report what they *did* — branches
+simulated, engine degradations, checkpoint appends, retries — into one
+global :class:`MetricsRegistry`; the report layer snapshots it at the
+end of a run. No sampling, no background threads, no dependencies:
+every operation is a dict lookup plus an add under a lock, cheap enough
+to leave enabled everywhere (instruments fire per *sweep point*, never
+per branch).
+
+Well-known instruments are pre-declared (:data:`WELL_KNOWN`), so a
+metrics snapshot always carries the full schema — a run with zero
+degradations reports ``guard.degradations: 0`` rather than omitting the
+key, which keeps downstream tooling free of existence checks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing value (int or seconds)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount!r}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+#: Instruments every run reports, declared up front so snapshots have a
+#: stable key set. ``grep`` for the name to find the emitting site.
+WELL_KNOWN = {
+    "counters": (
+        "sim.branches",            # dynamic branches simulated (all engines)
+        "sim.wall_s",              # seconds spent inside simulation engines
+        "engine.vectorized.runs",
+        "engine.reference.runs",
+        "guard.degradations",      # vectorized -> reference fallbacks
+        "guard.paranoid_checks",
+        "guard.paranoid_disagreements",
+        "sweep.points_computed",   # simulated this run
+        "sweep.points_restored",   # checkpoint hits reused from a journal
+        "checkpoint.appends",
+        "checkpoint.flushes",
+        "retry.attempts",          # transient failures retried with backoff
+        "deadline.expirations",
+        "interrupt.deferred",      # SIGINTs held to the next point boundary
+        "faults.injected",
+    ),
+    "histograms": (
+        "engine.branches_per_sec",  # per-engine-call throughput
+        "sweep.point_s",            # wall seconds per computed sweep point
+    ),
+}
+
+
+class MetricsRegistry:
+    """Name -> instrument maps with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._declare_well_known()
+
+    def _declare_well_known(self) -> None:
+        for name in WELL_KNOWN["counters"]:
+            self.counter(name)
+        for name in WELL_KNOWN["histograms"]:
+            self.histogram(name)
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self.counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self.gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self.histograms, name, Histogram)
+
+    def _get(self, table, name: str, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(name, factory(name))
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero everything back to the declared baseline (tests)."""
+        with self._lock:
+            self.counters = {}
+            self.gauges = {}
+            self.histograms = {}
+        self._declare_well_known()
+
+
+#: The process-global registry all instrumented modules report into.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> Dict[str, Dict]:
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    REGISTRY.reset()

@@ -1,0 +1,92 @@
+"""Periodic progress heartbeats with rate-based ETA.
+
+The CLI's ``--progress`` flag wires a :class:`ProgressReporter` into
+``sweep_tiers``'s ``on_point`` hook: every completed (or
+checkpoint-restored) point updates the reporter, which emits at most
+one stderr line per ``min_interval_s`` seconds::
+
+    [progress] fig4 12/78 points (15%)  3.1 pts/s  eta 21s
+
+The rate comes from *observed* computed-point throughput inside the
+current sweep, so restored checkpoint points (which arrive in a burst
+at time zero) do not fake an absurd ETA: the rate window restarts
+whenever ``done`` moves backwards (a new sweep began).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+class ProgressReporter:
+    """Throttled ``[progress]`` heartbeat lines on stderr."""
+
+    def __init__(
+        self,
+        label: str = "run",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.label = label
+        self._stream = stream
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self.emitted = 0
+        self.updates = 0
+        self._window_start: Optional[float] = None
+        self._window_done = 0
+        self._last_done = -1
+        self._last_emit: Optional[float] = None
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def on_point(self, point, done: int, total: int) -> None:
+        """``sweep_tiers``-compatible hook (ignores the point payload)."""
+        self.update(done, total)
+
+    def update(self, done: int, total: int, detail: str = "") -> None:
+        """Record progress; emit a heartbeat if the interval elapsed."""
+        self.updates += 1
+        now = self._clock()
+        if done < self._last_done or self._window_start is None:
+            # A new sweep (or the first point): restart the rate window.
+            self._window_start = now
+            self._window_done = done
+        self._last_done = done
+        due = (
+            self._last_emit is None
+            or now - self._last_emit >= self.min_interval_s
+            or done >= total
+        )
+        if not due:
+            return
+        self._last_emit = now
+        parts = [f"[progress] {self.label}"]
+        if detail:
+            parts.append(detail)
+        percent = f" ({100 * done // total}%)" if total else ""
+        parts.append(f"{done}/{total} points{percent}")
+        elapsed = now - self._window_start
+        advanced = done - self._window_done
+        if advanced > 0 and elapsed > 0:
+            rate = advanced / elapsed
+            parts.append(f"{rate:.3g} pts/s")
+            if total > done:
+                parts.append(f"eta {_format_eta((total - done) / rate)}")
+        self.stream.write("  ".join(parts) + "\n")
+        self.stream.flush()
+        self.emitted += 1

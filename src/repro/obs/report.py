@@ -1,0 +1,200 @@
+"""End-of-run reporting: summary tables and ``run_metrics.json``.
+
+Two serialized artifacts, one renderer:
+
+* **Metrics file** (``--metrics-out``) -- a single JSON object,
+  schema :data:`METRICS_SCHEMA`::
+
+      {"schema": "repro.run_metrics/1",
+       "counters": {...}, "gauges": {...}, "histograms": {...},
+       "spans": {name: {count, total_s, mean_s, min_s, max_s}},
+       "derived": {"branches_per_sec": ..., "sim_wall_s": ...}}
+
+* **Trace file** (``--trace-out``) -- JSON lines, one completed span
+  per line (see :mod:`repro.obs.spans`).
+
+``repro obs summarize PATH`` accepts either file and renders the same
+aligned text table an in-process :func:`render_summary` produces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.utils.tables import format_table
+
+METRICS_SCHEMA = "repro.run_metrics/1"
+
+
+def collect(extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Snapshot the global registry + tracer into one report dict."""
+    snapshot = _metrics.snapshot()
+    counters = snapshot["counters"]
+    branches = counters.get("sim.branches", 0)
+    wall = counters.get("sim.wall_s", 0)
+    report: Dict[str, Any] = {
+        "schema": METRICS_SCHEMA,
+        **snapshot,
+        "spans": _spans.get_tracer().aggregates(),
+        "derived": {
+            "branches_per_sec": branches / wall if wall else 0.0,
+            "sim_wall_s": wall,
+        },
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def write_metrics(path: str, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Write the current :func:`collect` report to ``path`` atomically."""
+    from repro.runtime.checkpoint import atomic_write_text
+
+    report = collect(extra)
+    atomic_write_text(path, json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def render_summary(report: Optional[Dict[str, Any]] = None) -> str:
+    """Aligned text summary of a report dict (default: the live state)."""
+    if report is None:
+        report = collect()
+    blocks = []
+
+    spans = report.get("spans") or {}
+    if spans:
+        rows = [
+            [name, agg["count"], agg["total_s"], agg["mean_s"], agg["max_s"]]
+            for name, agg in spans.items()
+        ]
+        blocks.append(
+            "phase timings\n"
+            + format_table(
+                rows,
+                headers=("span", "count", "total_s", "mean_s", "max_s"),
+                float_fmt=".4f",
+            )
+        )
+
+    derived = report.get("derived") or {}
+    counters = report.get("counters") or {}
+    if counters or derived:
+        rows = [[name, value] for name, value in sorted(counters.items())]
+        rows += [
+            [name, value]
+            for name, value in sorted(derived.items())
+            if isinstance(value, (int, float))
+        ]
+        blocks.append(
+            "counters\n"
+            + format_table(rows, headers=("counter", "value"), float_fmt=".1f")
+        )
+
+    gauges = {
+        name: value
+        for name, value in (report.get("gauges") or {}).items()
+        if value is not None
+    }
+    if gauges:
+        rows = [[name, value] for name, value in sorted(gauges.items())]
+        blocks.append(
+            "gauges\n" + format_table(rows, headers=("gauge", "value"))
+        )
+
+    histograms = report.get("histograms") or {}
+    if histograms:
+        rows = [
+            [
+                name,
+                summary["count"],
+                summary["mean"],
+                summary["min"] if summary["min"] is not None else "-",
+                summary["max"] if summary["max"] is not None else "-",
+            ]
+            for name, summary in sorted(histograms.items())
+        ]
+        blocks.append(
+            "histograms\n"
+            + format_table(
+                rows,
+                headers=("histogram", "count", "mean", "min", "max"),
+                float_fmt=".4g",
+            )
+        )
+
+    return "\n\n".join(blocks) if blocks else "(no telemetry recorded)"
+
+
+def summarize_path(path: str) -> str:
+    """Render a saved metrics JSON or span-trace JSONL file as text."""
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproError(f"cannot read telemetry file {path!r}: {exc}") from exc
+    stripped = text.strip()
+    if not stripped:
+        raise ReproError(f"telemetry file {path!r} is empty")
+    # A metrics file is one (possibly pretty-printed) JSON object; a
+    # trace file is one JSON object *per line*.
+    try:
+        whole = json.loads(stripped)
+    except ValueError:
+        whole = None
+    if isinstance(whole, dict) and whole.get("schema") == METRICS_SCHEMA:
+        return render_summary(whole)
+    try:
+        first = json.loads(stripped.splitlines()[0])
+    except ValueError as exc:
+        raise ReproError(
+            f"telemetry file {path!r} is not JSON or JSONL: {exc}"
+        ) from exc
+    if isinstance(first, dict) and first.get("kind") == "span":
+        return _summarize_trace_lines(path, stripped.splitlines())
+    raise ReproError(
+        f"telemetry file {path!r} is neither a {METRICS_SCHEMA} metrics "
+        "file nor a span-trace JSONL"
+    )
+
+
+def _summarize_trace_lines(path: str, lines) -> str:
+    """Aggregate a JSONL span trace into the phase-timings table."""
+    aggregates: Dict[str, list] = {}  # name -> [count, total, min, max]
+    total_spans = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ReproError(f"{path}:{lineno}: bad trace line: {exc}") from exc
+        if record.get("kind") != "span":
+            continue
+        total_spans += 1
+        name, dur = record.get("name", "?"), float(record.get("dur_s", 0.0))
+        agg = aggregates.get(name)
+        if agg is None:
+            aggregates[name] = [1, dur, dur, dur]
+        else:
+            agg[0] += 1
+            agg[1] += dur
+            agg[2] = min(agg[2], dur)
+            agg[3] = max(agg[3], dur)
+    spans = {
+        name: {
+            "count": count,
+            "total_s": total,
+            "mean_s": total / count,
+            "min_s": lo,
+            "max_s": hi,
+        }
+        for name, (count, total, lo, hi) in sorted(aggregates.items())
+    }
+    header = f"span trace {path}: {total_spans} spans\n\n"
+    return header + render_summary(
+        {"spans": spans, "counters": {}, "gauges": {}, "histograms": {}, "derived": {}}
+    )

@@ -1,0 +1,222 @@
+"""Span tracing: nested wall-clock timings for runs and sweeps.
+
+A *span* is one timed region with a name and optional attributes::
+
+    from repro.obs import span
+
+    with span("sweep_tiers", scheme="gas", trace="espresso"):
+        with span("sweep.point", n=10, row_bits=4):
+            ...
+
+Spans nest via a per-thread stack, so the tracer reconstructs the call
+tree without any caller bookkeeping. Every completed span is
+
+* folded into per-name aggregates (count / total / min / max seconds),
+  which cost O(1) memory and feed the end-of-run summary table;
+* retained in an in-memory tree (up to :attr:`SpanTracer.max_records`
+  nodes, so a pathological run cannot exhaust memory); and
+* optionally appended as one JSON line to a trace file
+  (:meth:`SpanTracer.configure_sink`), the format
+  ``repro obs summarize`` reads back.
+
+The clock is ``time.perf_counter`` throughout: monotonic, so span
+durations and parent/child containment survive system clock changes.
+Everything here is stdlib-only and safe to import from any layer.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO
+
+#: Schema tag written into every JSONL trace line.
+TRACE_SCHEMA = "repro.trace/1"
+
+
+@dataclass
+class SpanRecord:
+    """One timed region; ``end`` is None while the span is open."""
+
+    name: str
+    attrs: Dict[str, Any]
+    start: float
+    depth: int
+    end: Optional[float] = None
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to *now* for a still-open span)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+
+class SpanTracer:
+    """Collects spans into aggregates, a bounded tree, and a JSONL sink."""
+
+    def __init__(self, max_records: int = 100_000):
+        self.max_records = max_records
+        self.roots: List[SpanRecord] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._aggregates: Dict[str, List[float]] = {}  # name -> [count, total, min, max]
+        self._retained = 0
+        self.dropped = 0
+        self._sink: Optional[TextIO] = None
+        self._sink_path: Optional[str] = None
+        self._sink_pending = 0
+        self._origin = time.perf_counter()
+
+    # -- the tracing API ----------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[SpanRecord]:
+        """Time a region; nests under the innermost open span."""
+        stack = self._stack()
+        record = SpanRecord(
+            name=name, attrs=attrs, start=time.perf_counter(), depth=len(stack)
+        )
+        parent = stack[-1] if stack else None
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.end = time.perf_counter()
+            stack.pop()
+            self._finish(record, parent)
+
+    def traced(self, name: Optional[str] = None, **attrs: Any) -> Callable:
+        """Decorator form of :meth:`span`."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- sinks ---------------------------------------------------------
+
+    def configure_sink(self, path: str) -> None:
+        """Stream every completed span to ``path`` as JSON lines."""
+        self.close_sink()
+        self._sink = open(path, "w", encoding="ascii")
+        self._sink_path = path
+
+    def close_sink(self) -> Optional[str]:
+        """Flush and close the JSONL sink; returns its path, if any."""
+        path, sink = self._sink_path, self._sink
+        self._sink = None
+        self._sink_path = None
+        if sink is not None:
+            sink.close()
+        return path
+
+    # -- queries -------------------------------------------------------
+
+    def aggregates(self) -> Dict[str, Dict[str, float]]:
+        """Per-name timing summary: count / total / mean / min / max."""
+        with self._lock:
+            return {
+                name: {
+                    "count": int(count),
+                    "total_s": total,
+                    "mean_s": total / count if count else 0.0,
+                    "min_s": lo,
+                    "max_s": hi,
+                }
+                for name, (count, total, lo, hi) in sorted(self._aggregates.items())
+            }
+
+    def reset(self) -> None:
+        """Forget all recorded spans (sinks stay configured)."""
+        with self._lock:
+            self.roots = []
+            self._aggregates = {}
+            self._retained = 0
+            self.dropped = 0
+            self._origin = time.perf_counter()
+        self._local = threading.local()
+
+    # -- internals -----------------------------------------------------
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, record: SpanRecord, parent: Optional[SpanRecord]) -> None:
+        with self._lock:
+            agg = self._aggregates.get(record.name)
+            duration = record.duration
+            if agg is None:
+                self._aggregates[record.name] = [1, duration, duration, duration]
+            else:
+                agg[0] += 1
+                agg[1] += duration
+                agg[2] = min(agg[2], duration)
+                agg[3] = max(agg[3], duration)
+            if self._retained < self.max_records:
+                self._retained += 1
+                if parent is not None:
+                    parent.children.append(record)
+                else:
+                    self.roots.append(record)
+            else:
+                self.dropped += 1
+        if self._sink is not None:
+            line = json.dumps(
+                {
+                    "kind": "span",
+                    "schema": TRACE_SCHEMA,
+                    "name": record.name,
+                    "depth": record.depth,
+                    "start_s": round(record.start - self._origin, 9),
+                    "dur_s": round(duration, 9),
+                    "attrs": {k: _jsonable(v) for k, v in record.attrs.items()},
+                },
+                sort_keys=True,
+            )
+            self._sink.write(line + "\n")
+            # Flush in batches: per-span fsync-ish flushing costs real
+            # time on sweep-sized runs, and the close() flush covers
+            # the tail.
+            self._sink_pending += 1
+            if self._sink_pending >= 64:
+                self._sink.flush()
+                self._sink_pending = 0
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+#: The process-global tracer every instrumented module reports into.
+TRACER = SpanTracer()
+
+
+def get_tracer() -> SpanTracer:
+    """The global tracer (one per process)."""
+    return TRACER
+
+
+def span(name: str, **attrs: Any):
+    """``with span("name", k=v):`` on the global tracer."""
+    return TRACER.span(name, **attrs)
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator timing a function on the global tracer."""
+    return TRACER.traced(name, **attrs)

@@ -32,6 +32,7 @@ import zlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CheckpointError
+from repro.obs.metrics import counter
 from repro.runtime.faults import maybe_inject
 from repro.sim.results import TierPoint
 
@@ -141,6 +142,7 @@ class CheckpointJournal:
     def append(self, n: int, point: TierPoint, flush: bool = True) -> None:
         """Record one completed point; by default persist immediately."""
         maybe_inject("checkpoint.append")
+        counter("checkpoint.appends").inc()
         self.points.append((n, point))
         self._dirty = True
         if flush:
@@ -170,6 +172,7 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"cannot write checkpoint journal {self.path!r}: {exc}"
             ) from exc
+        counter("checkpoint.flushes").inc()
         self._dirty = False
 
     def discard(self) -> None:

@@ -20,6 +20,7 @@ import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from repro.errors import SimulationError
+from repro.obs.metrics import counter
 
 T = TypeVar("T")
 
@@ -58,6 +59,7 @@ class Deadline:
     def check(self, context: str = "run") -> None:
         """Raise :class:`DeadlineExceeded` when the budget is spent."""
         if self.expired():
+            counter("deadline.expirations").inc()
             raise DeadlineExceeded(
                 f"{context} exceeded its {self.seconds:.3g}s deadline "
                 f"after {self.elapsed():.3g}s"
@@ -86,6 +88,7 @@ class CooperativeInterrupt:
         if self.pending:  # second Ctrl-C: stop deferring
             raise KeyboardInterrupt
         self.pending = True
+        counter("interrupt.deferred").inc()
 
     def __enter__(self) -> "CooperativeInterrupt":
         try:
@@ -128,6 +131,7 @@ def retry_with_backoff(
         except retryable:
             if attempt >= retries:
                 raise
+            counter("retry.attempts").inc()
             delay = min(max_delay, base_delay * (2 ** attempt))
             sleep(delay)
             attempt += 1

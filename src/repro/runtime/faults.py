@@ -167,10 +167,13 @@ def maybe_inject(site: str) -> bool:
     plan = active_plan()
     if plan is None:
         return False
+    from repro.obs.metrics import counter
+
     corrupt = False
     for clause in plan.for_site(site):
         if not clause.should_fire():
             continue
+        counter("faults.injected").inc()
         if clause.action == "raise":
             raise InjectedFault(f"injected fault at {site}")
         if clause.action == "interrupt":

@@ -23,12 +23,15 @@ would just hide it.
 
 from __future__ import annotations
 
-import logging
+import time
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ReproError, SimulationError
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter, histogram
+from repro.obs.spans import span
 from repro.predictors.specs import PredictorSpec
 from repro.runtime.faults import maybe_inject
 from repro.sim.reference import simulate_reference
@@ -36,7 +39,7 @@ from repro.sim.results import SimulationResult
 from repro.sim.vectorized import has_vectorized_engine, simulate_vectorized
 from repro.traces.trace import BranchTrace
 
-logger = logging.getLogger("repro.runtime.guard")
+logger = get_logger("repro.runtime.guard")
 
 #: Prefix length for the paranoid cross-check. Long enough to exercise
 #: warm-up, training and aliasing behaviour; short enough to keep the
@@ -69,22 +72,48 @@ def result_invariant_violation(
     return None
 
 
+def _timed_engine(kind: str, run, spec: PredictorSpec, trace: BranchTrace):
+    """Run one engine call under a span, reporting throughput metrics."""
+    with span(f"engine.{kind}", scheme=spec.scheme, trace=trace.name):
+        started = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - started
+    counter(f"engine.{kind}.runs").inc()
+    counter("sim.branches").inc(len(trace))
+    counter("sim.wall_s").inc(elapsed)
+    if elapsed > 0:
+        histogram("engine.branches_per_sec").observe(len(trace) / elapsed)
+    return result
+
+
 def _run_vectorized(spec: PredictorSpec, trace: BranchTrace) -> SimulationResult:
-    maybe_inject("engine.vectorized")
-    return simulate_vectorized(spec, trace)
+    def run() -> SimulationResult:
+        maybe_inject("engine.vectorized")
+        return simulate_vectorized(spec, trace)
+
+    return _timed_engine("vectorized", run, spec, trace)
+
+
+def _run_reference(spec: PredictorSpec, trace: BranchTrace) -> SimulationResult:
+    return _timed_engine(
+        "reference", lambda: simulate_reference(spec, trace), spec, trace
+    )
 
 
 def _paranoid_disagreement(
     spec: PredictorSpec, trace: BranchTrace
 ) -> Optional[str]:
     """Cross-check both engines on a prefix; None when they agree."""
+    counter("guard.paranoid_checks").inc()
     prefix = trace.slice(0, min(len(trace), PARANOID_PREFIX))
-    fast = _run_vectorized(spec, prefix)
-    slow = simulate_reference(spec, prefix)
+    with span("guard.paranoid", scheme=spec.scheme, trace=trace.name):
+        fast = _run_vectorized(spec, prefix)
+        slow = _run_reference(spec, prefix)
     mismatches = int(
         np.count_nonzero(fast.predictions != slow.predictions)
     )
     if mismatches:
+        counter("guard.paranoid_disagreements").inc()
         return (
             f"engines disagree on {mismatches}/{len(prefix)} "
             "prefix predictions"
@@ -93,6 +122,7 @@ def _paranoid_disagreement(
 
 
 def _warn_degraded(spec: PredictorSpec, trace: BranchTrace, reason: str) -> None:
+    counter("guard.degradations").inc()
     logger.warning(
         "vectorized engine degraded to reference: "
         "scheme=%s shape=%s trace=%s reason=%r",
@@ -111,7 +141,7 @@ def guarded_simulate(
 ) -> SimulationResult:
     """Simulate with the degradation policy described in the module doc."""
     if engine == "reference":
-        return simulate_reference(spec, trace)
+        return _run_reference(spec, trace)
 
     if engine == "vectorized":
         try:
@@ -135,7 +165,7 @@ def guarded_simulate(
 
     # engine == "auto": degrade instead of dying.
     if not has_vectorized_engine(spec):
-        return simulate_reference(spec, trace)
+        return _run_reference(spec, trace)
     try:
         result = _run_vectorized(spec, trace)
         problem = result_invariant_violation(result, trace)
@@ -145,8 +175,8 @@ def guarded_simulate(
         raise
     except Exception as exc:
         _warn_degraded(spec, trace, f"engine raised {exc!r}")
-        return simulate_reference(spec, trace)
+        return _run_reference(spec, trace)
     if problem is not None:
         _warn_degraded(spec, trace, problem)
-        return simulate_reference(spec, trace)
+        return _run_reference(spec, trace)
     return result

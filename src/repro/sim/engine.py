@@ -33,6 +33,10 @@ def simulate(
         raise ConfigurationError(
             f"unknown engine {engine!r}; choose from {ENGINES}"
         )
+    from repro.obs.spans import span
     from repro.runtime.guard import guarded_simulate
 
-    return guarded_simulate(spec, trace, engine=engine, paranoid=paranoid)
+    with span(
+        "simulate", scheme=spec.scheme, engine=engine, trace=trace.name
+    ):
+        return guarded_simulate(spec, trace, engine=engine, paranoid=paranoid)

@@ -18,9 +18,20 @@ way.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import time
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import CheckpointError, ConfigurationError
+from repro.obs.metrics import counter, histogram
+from repro.obs.spans import span
 from repro.predictors.specs import PER_ADDRESS_SCHEMES, PredictorSpec
 from repro.sim.engine import simulate
 from repro.sim.results import TierPoint, TierSurface
@@ -129,6 +140,7 @@ def sweep_tiers(
     resume: bool = True,
     paranoid: bool = False,
     deadline=None,
+    on_point: Optional[Callable[[TierPoint, int, int], None]] = None,
 ) -> TierSurface:
     """Simulate every (columns x rows) split of every requested tier.
 
@@ -153,6 +165,12 @@ def sweep_tiers(
         Optional :class:`repro.runtime.deadline.Deadline`; when it
         expires the sweep flushes its journal and raises
         :class:`~repro.runtime.deadline.DeadlineExceeded`.
+    on_point:
+        Optional progress hook ``on_point(point, done, total)`` called
+        after every point lands in the surface — checkpoint-restored
+        points included, so ``done`` always counts true progress
+        against ``total`` (the sweep's full point count). The CLI's
+        ``--progress`` heartbeat rides on this.
     """
     from repro.runtime.deadline import CooperativeInterrupt
     from repro.runtime.faults import maybe_inject
@@ -173,43 +191,63 @@ def sweep_tiers(
         )
         restored = {(n, p.row_bits): p for n, p in journal.points}
 
+    plan = [
+        (n, row_bits)
+        for n in size_bits
+        for row_bits in range(n + 1)
+        if row_bits_filter is None or row_bits in row_bits_filter
+    ]
+    total = len(plan)
+    completed = 0
+
     surface = TierSurface(scheme=scheme, trace_name=trace.name)
     try:
-        with CooperativeInterrupt() as interrupt:
-            for n in size_bits:
-                for row_bits in range(n + 1):
-                    if (
-                        row_bits_filter is not None
-                        and row_bits not in row_bits_filter
-                    ):
-                        continue
-                    done = restored.get((n, row_bits))
-                    if done is not None:
-                        surface.add(n, done)
-                        continue
-                    if deadline is not None:
-                        deadline.check(f"sweep_tiers({scheme})")
-                    interrupt.checkpoint()
-                    maybe_inject("sweep.point")
-                    spec = spec_for_point(
-                        scheme,
-                        col_bits=n - row_bits,
-                        row_bits=row_bits,
-                        bht_entries=bht_entries,
-                        bht_assoc=bht_assoc,
-                    )
+        with CooperativeInterrupt() as interrupt, span(
+            "sweep_tiers", scheme=scheme, trace=trace.name, points=total
+        ):
+            for n, row_bits in plan:
+                done = restored.get((n, row_bits))
+                if done is not None:
+                    surface.add(n, done)
+                    counter("sweep.points_restored").inc()
+                    completed += 1
+                    if on_point is not None:
+                        on_point(done, completed, total)
+                    continue
+                if deadline is not None:
+                    deadline.check(f"sweep_tiers({scheme})")
+                interrupt.checkpoint()
+                maybe_inject("sweep.point")
+                spec = spec_for_point(
+                    scheme,
+                    col_bits=n - row_bits,
+                    row_bits=row_bits,
+                    bht_entries=bht_entries,
+                    bht_assoc=bht_assoc,
+                )
+                started = time.perf_counter()
+                with span(
+                    "sweep.point", scheme=scheme, n=n, row_bits=row_bits
+                ):
                     result = simulate(
                         spec, trace, engine=engine, paranoid=paranoid
                     )
-                    point = TierPoint(
-                        col_bits=n - row_bits,
-                        row_bits=row_bits,
-                        misprediction_rate=result.misprediction_rate,
-                        first_level_miss_rate=result.first_level_miss_rate,
-                    )
-                    surface.add(n, point)
-                    if journal is not None:
-                        journal.append(n, point)
+                histogram("sweep.point_s").observe(
+                    time.perf_counter() - started
+                )
+                counter("sweep.points_computed").inc()
+                point = TierPoint(
+                    col_bits=n - row_bits,
+                    row_bits=row_bits,
+                    misprediction_rate=result.misprediction_rate,
+                    first_level_miss_rate=result.first_level_miss_rate,
+                )
+                surface.add(n, point)
+                if journal is not None:
+                    journal.append(n, point)
+                completed += 1
+                if on_point is not None:
+                    on_point(point, completed, total)
     except BaseException:
         # Interrupt, deadline, engine error: persist completed points
         # so the re-run resumes instead of restarting.
