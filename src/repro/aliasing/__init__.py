@@ -22,6 +22,7 @@ from repro.aliasing.classify import (
 from repro.aliasing.instrumentation import (
     aliasing_rate,
     conflict_mask,
+    observed_alias_sets,
     sweep_aliasing,
 )
 from repro.aliasing.report import aliasing_report
@@ -32,6 +33,7 @@ __all__ = [
     "all_ones_conflict_share",
     "aliasing_rate",
     "conflict_mask",
+    "observed_alias_sets",
     "sweep_aliasing",
     "aliasing_report",
 ]

@@ -1,0 +1,349 @@
+"""Pass 3: repo-invariant lint — the rules generic linters can't know.
+
+Stdlib-``ast`` based, zero dependencies. The rules encode contracts
+this codebase relies on:
+
+* ``code.hot-loop`` / ``code.hot-time`` — the vectorized hot paths
+  (:mod:`repro.sim.vectorized`, :mod:`repro.sim.fsm_scan`) must stay
+  free of per-branch Python loops and of ``time.*`` calls (timing
+  belongs to the callers and :mod:`repro.obs`); one documented
+  exception (the first-level LRU) carries an allow marker.
+* ``code.metric-name`` — every literal instrument name passed to
+  ``counter()``/``gauge()``/``histogram()`` must be pre-declared in
+  :data:`repro.obs.metrics.WELL_KNOWN`, keeping snapshots schema-stable.
+* ``code.raw-write`` — artifact writes go through the atomic writer
+  (:func:`repro.runtime.checkpoint.atomic_write_text`), not bare
+  ``open(..., "w")``; the writer implementations themselves are
+  allowlisted.
+* ``code.bare-except`` — a bare ``except:`` swallows ``SystemExit`` and
+  ``KeyboardInterrupt``, breaking the cooperative-interrupt runtime.
+* ``code.mutable-default`` — mutable default arguments.
+
+A finding on a line containing ``check: allow(<rule>)`` is suppressed;
+the marker doubles as in-source documentation of the exception.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.findings import Finding
+from repro.errors import CheckError
+
+#: Modules whose bodies are per-access hot paths (posix path suffixes).
+HOT_PATH_SUFFIXES: Tuple[str, ...] = (
+    "sim/vectorized.py",
+    "sim/fsm_scan.py",
+)
+
+#: Modules allowed to call ``open`` for writing: they *are* the atomic
+#: writer (temp file + rename) or the trace serializer built on it.
+WRITER_SUFFIXES: Tuple[str, ...] = (
+    "runtime/checkpoint.py",
+    "traces/io.py",
+)
+
+_ALLOW_MARKER = "check: allow("
+
+
+def default_paths() -> List[str]:
+    """The package source tree, located relative to this module."""
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    return [package_dir]
+
+
+def _iter_python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                if "__pycache__" in root:
+                    continue
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+        else:
+            raise CheckError(f"not a Python file or directory: {path!r}")
+    return files
+
+
+def _posix(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _matches(path: str, suffixes: Sequence[str]) -> bool:
+    return any(_posix(path).endswith(suffix) for suffix in suffixes)
+
+
+def _declared_metric_names() -> "dict[str, Set[str]]":
+    from repro.obs.metrics import WELL_KNOWN
+
+    return {
+        "counter": set(WELL_KNOWN["counters"]),
+        "histogram": set(WELL_KNOWN["histograms"]),
+        "gauge": set(WELL_KNOWN.get("gauges", ())),
+    }
+
+
+class _Linter(ast.NodeVisitor):
+    """One file's walk; findings accumulate in ``self.findings``."""
+
+    def __init__(
+        self,
+        filename: str,
+        lines: Sequence[str],
+        is_hot: bool,
+        is_writer: bool,
+        metric_names: "dict[str, Set[str]]",
+    ) -> None:
+        self.filename = filename
+        self.lines = lines
+        self.is_hot = is_hot
+        self.is_writer = is_writer
+        self.metric_names = metric_names
+        self.findings: List[Finding] = []
+
+    # -- helpers ------------------------------------------------------
+
+    def _allowed(self, rule: str, lineno: int) -> bool:
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        line = self.lines[lineno - 1]
+        return f"{_ALLOW_MARKER}{rule})" in line
+
+    def _add(self, rule: str, severity: str, lineno: int, why: str) -> None:
+        if self._allowed(rule, lineno):
+            return
+        self.findings.append(
+            Finding(
+                check=f"code.{rule}",
+                severity=severity,
+                why=why,
+                location=f"{self.filename}:{lineno}",
+            )
+        )
+
+    @staticmethod
+    def _contains_len_call(node: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "len"
+            for sub in ast.walk(node)
+        )
+
+    @staticmethod
+    def _is_trace_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "trace"
+        if isinstance(node, ast.Attribute):
+            return _Linter._is_trace_expr(node.value)
+        return False
+
+    # -- rules --------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                "bare-except",
+                "error",
+                node.lineno,
+                "bare 'except:' also catches KeyboardInterrupt/"
+                "SystemExit; name the exceptions (ReproError at widest)",
+            )
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.AST) -> None:
+        args = getattr(node, "args", None)
+        if args is None:
+            return
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                self._add(
+                    "mutable-default",
+                    "error",
+                    default.lineno,
+                    "mutable default argument is shared across calls; "
+                    "default to None and materialize inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.is_hot and (
+            self._contains_len_call(node.iter)
+            or self._is_trace_expr(node.iter)
+        ):
+            self._add(
+                "hot-loop",
+                "error",
+                node.lineno,
+                "per-access Python loop in a vectorized hot path; "
+                "express it as array operations (or document the "
+                "exception with an allow marker)",
+            )
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        if self.is_hot and self._contains_len_call(node.test):
+            self._add(
+                "hot-loop",
+                "error",
+                node.lineno,
+                "length-bounded while loop in a vectorized hot path; "
+                "express it as array operations (or document the "
+                "exception with an allow marker)",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # time.* in hot paths
+        if (
+            self.is_hot
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+        ):
+            self._add(
+                "hot-time",
+                "error",
+                node.lineno,
+                "time.* call inside a vectorized hot path; timing "
+                "belongs to callers and repro.obs spans",
+            )
+        # undeclared literal metric names
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self.metric_names
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            name = node.args[0].value
+            if name not in self.metric_names[func.id]:
+                self._add(
+                    "metric-name",
+                    "error",
+                    node.lineno,
+                    f"{func.id}({name!r}) is not pre-declared in "
+                    "repro.obs.metrics.WELL_KNOWN; snapshots would "
+                    "change schema between runs",
+                )
+        # raw artifact writes
+        if (
+            not self.is_writer
+            and isinstance(func, ast.Name)
+            and func.id == "open"
+        ):
+            mode = self._open_mode(node)
+            if mode is not None and any(ch in mode for ch in "wax"):
+                self._add(
+                    "raw-write",
+                    "warning",
+                    node.lineno,
+                    f"open(..., {mode!r}) bypasses the atomic writer; "
+                    "use repro.runtime.atomic_write_text (or mark a "
+                    "streaming sink with an allow marker)",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            value = node.args[1].value
+            return value if isinstance(value, str) else None
+        for keyword in node.keywords:
+            if keyword.arg == "mode" and isinstance(
+                keyword.value, ast.Constant
+            ):
+                value = keyword.value.value
+                return value if isinstance(value, str) else None
+        return None
+
+
+def lint_source(
+    source: str,
+    filename: str,
+    is_hot: bool = False,
+    is_writer: bool = False,
+) -> List[Finding]:
+    """Lint one module's source text (the unit the tests drive)."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as error:
+        return [
+            Finding(
+                check="code.syntax",
+                severity="error",
+                why=f"not parseable as Python: {error.msg}",
+                location=f"{filename}:{error.lineno or 0}",
+            )
+        ]
+    linter = _Linter(
+        filename=filename,
+        lines=source.splitlines(),
+        is_hot=is_hot,
+        is_writer=is_writer,
+        metric_names=_declared_metric_names(),
+    )
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: f.location or "")
+
+
+def lint_paths(
+    paths: Optional[Sequence[str]] = None,
+    hot_suffixes: Sequence[str] = HOT_PATH_SUFFIXES,
+    writer_suffixes: Sequence[str] = WRITER_SUFFIXES,
+) -> List[Finding]:
+    """The full code pass over ``paths`` (default: the repro package)."""
+    resolved = list(paths) if paths else default_paths()
+    findings: List[Finding] = []
+    checked = 0
+    for filename in _iter_python_files(resolved):
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise CheckError(
+                f"cannot read {filename!r}: {error}"
+            ) from error
+        findings.extend(
+            lint_source(
+                source,
+                filename=filename,
+                is_hot=_matches(filename, hot_suffixes),
+                is_writer=_matches(filename, writer_suffixes),
+            )
+        )
+        checked += 1
+    findings.append(
+        Finding(
+            check="code.coverage",
+            severity="info",
+            why=f"linted {checked} files under {', '.join(resolved)}",
+            data={"files": checked},
+        )
+    )
+    return findings

@@ -9,6 +9,8 @@ Examples::
     repro characterize mpeg_play           # Table-1 row for one trace
     repro simulate --scheme gshare --rows 4096 --cols 4 \\
         --benchmark real_gcc               # one-off simulation
+    repro check                            # all static checks
+    repro check code --strict --json       # lint pass, warnings block
 """
 
 from __future__ import annotations
@@ -82,6 +84,89 @@ def _build_parser() -> argparse.ArgumentParser:
             "reference on a trace prefix at every sweep point"
         ),
     )
+    run.add_argument(
+        "--precheck",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "statically verify every planned sweep configuration before "
+            "the first point simulates (--no-precheck skips the guard)"
+        ),
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="static verification: configs, aliasing analysis, code lint",
+        description=(
+            "Run the static check passes. Exit code 0 = clean, "
+            "1 = findings, 2 = a pass failed internally."
+        ),
+    )
+    check.add_argument(
+        "check_pass",
+        nargs="?",
+        default="all",
+        choices=("configs", "aliasing", "code", "all"),
+        metavar="pass",
+        help="which pass to run: configs, aliasing, code, or all (default)",
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a machine-readable JSON report",
+    )
+    check.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as blocking (exit 1), not just errors",
+    )
+    check.add_argument(
+        "--spec-file",
+        metavar="PATH",
+        default=None,
+        help=(
+            "also verify predictor specs from a JSON file (a list of "
+            "spec objects, or {\"specs\": [...]})"
+        ),
+    )
+    check.add_argument(
+        "--path",
+        action="append",
+        dest="paths",
+        metavar="PATH",
+        help="lint these files/directories instead of the repro package "
+        "(repeatable)",
+    )
+    check.add_argument(
+        "--hot",
+        action="append",
+        dest="hot_suffixes",
+        metavar="SUFFIX",
+        help="treat files ending in SUFFIX as hot paths for the code "
+        "pass (repeatable; adds to the built-in hot set)",
+    )
+    check.add_argument(
+        "--benchmark",
+        action="append",
+        dest="benchmarks",
+        help="benchmark for the aliasing pass (repeatable; default: "
+        "the paper's focus trio)",
+    )
+    check.add_argument(
+        "--scheme",
+        action="append",
+        dest="schemes",
+        help="scheme for the configs/aliasing passes (repeatable)",
+    )
+    check.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        metavar="N",
+        help="tier exponents (2^N counters) for configs/aliasing passes",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    _add_obs_options(check)
 
     characterize = sub.add_parser(
         "characterize", help="Table-1 style statistics for one workload"
@@ -288,12 +373,29 @@ def _dispatch(args: argparse.Namespace) -> int:
             resume=args.resume,
             paranoid=args.paranoid,
             on_point=on_point,
+            precheck=args.precheck,
         )
         result = run_experiment(args.experiment, options)
         result.show()
         if args.export:
             _export_result(result, args.export)
         return 0
+
+    if args.command == "check":
+        from repro.check.runner import render, run_checks
+
+        report = run_checks(
+            which=args.check_pass,
+            spec_file=args.spec_file,
+            paths=args.paths,
+            hot_suffixes=tuple(args.hot_suffixes or ()),
+            benchmarks=args.benchmarks,
+            schemes=args.schemes,
+            size_bits=tuple(args.sizes) if args.sizes else None,
+            seed=args.seed,
+        )
+        print(render(report, as_json=args.json, strict=args.strict))
+        return report.exit_code(args.strict)
 
     if args.command == "characterize":
         from repro.traces.stats import characterize, frequency_breakdown
@@ -410,8 +512,9 @@ def _export_result(result, path: str) -> None:
             f"experiment {result.experiment_id!r} has no CSV-exportable "
             "data (only surfaces, series and difference grids export)"
         )
-    with open(path, "w", encoding="ascii") as handle:
-        handle.write(text)
+    from repro.runtime.checkpoint import atomic_write_text
+
+    atomic_write_text(path, text)
     print(f"[exported {result.experiment_id} data to {path}]")
 
 

@@ -43,6 +43,16 @@ class SimulationError(ReproError):
     """
 
 
+class CheckError(ReproError):
+    """A static-analysis pass itself failed (not: it found problems).
+
+    Findings are data (``repro check`` exits 1 and prints them); this
+    error is for the checker breaking — an unreadable spec file, a
+    source path that is not Python, an internal fault in a pass — and
+    maps to exit code 2.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint journal is corrupt, mismatched, or unwritable.
 

@@ -36,6 +36,9 @@ class ExperimentOptions:
     every point (see :mod:`repro.runtime`). ``on_point`` is the
     sweep progress hook ``on_point(point, done, total)`` — the CLI's
     ``--progress`` heartbeat plugs in here (see :mod:`repro.obs`).
+    ``precheck`` statically verifies every planned sweep spec before
+    the first point simulates (see :mod:`repro.check`); the CLI's
+    ``--no-precheck`` turns it off.
     """
 
     length: int = DEFAULT_LENGTH
@@ -46,6 +49,7 @@ class ExperimentOptions:
     resume: bool = True
     paranoid: bool = False
     on_point: Optional[Callable[[Any, int, int], None]] = None
+    precheck: bool = True
 
     def sweep_kwargs(self) -> Dict[str, Any]:
         """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
@@ -54,6 +58,7 @@ class ExperimentOptions:
             "resume": self.resume,
             "paranoid": self.paranoid,
             "on_point": self.on_point,
+            "precheck": self.precheck,
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:

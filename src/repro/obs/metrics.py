@@ -102,7 +102,9 @@ WELL_KNOWN = {
         "deadline.expirations",
         "interrupt.deferred",      # SIGINTs held to the next point boundary
         "faults.injected",
+        "check.findings",          # actionable static-check findings
     ),
+    "gauges": (),
     "histograms": (
         "engine.branches_per_sec",  # per-engine-call throughput
         "sweep.point_s",            # wall seconds per computed sweep point
@@ -123,6 +125,8 @@ class MetricsRegistry:
     def _declare_well_known(self) -> None:
         for name in WELL_KNOWN["counters"]:
             self.counter(name)
+        for name in WELL_KNOWN["gauges"]:
+            self.gauge(name)
         for name in WELL_KNOWN["histograms"]:
             self.histogram(name)
 

@@ -109,7 +109,9 @@ class SpanTracer:
     def configure_sink(self, path: str) -> None:
         """Stream every completed span to ``path`` as JSON lines."""
         self.close_sink()
-        self._sink = open(path, "w", encoding="ascii")
+        # Streaming sink, written incrementally for the run's lifetime:
+        # atomicity cannot apply, partial JSONL is valid by design.
+        self._sink = open(path, "w", encoding="ascii")  # check: allow(raw-write)
         self._sink_path = path
 
     def close_sink(self) -> Optional[str]:

@@ -18,11 +18,15 @@ Shape conventions (the paper's Figure 1):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.utils.bits import log2_exact
 from repro.utils.validation import check_positive_int, check_power_of_two
+
+IntOrArray = Union[int, np.ndarray]
 
 #: Schemes whose rows are selected from global state.
 GLOBAL_SCHEMES: Tuple[str, ...] = ("gag", "gas", "gap", "gshare", "path")
@@ -93,6 +97,11 @@ class PredictorSpec:
         return self.rows * self.cols
 
     @property
+    def column_bits(self) -> int:
+        """Column-index width, log2(cols)."""
+        return log2_exact(self.cols)
+
+    @property
     def size_label(self) -> str:
         """The paper's configuration notation, e.g. ``2^6 x 2^4``."""
         return f"2^{log2_exact(self.cols)}x2^{log2_exact(self.rows)}"
@@ -134,6 +143,12 @@ class PredictorSpec:
             raise ConfigurationError(
                 f"{self.scheme} keeps one column per address; cols must "
                 "stay 1 (it is ignored for sizing)"
+            )
+        if self.scheme in DEALIASED_SCHEMES and self.cols != 1:
+            raise ConfigurationError(
+                f"{self.scheme} hashes the PC into its row index and has "
+                "no column dimension; cols must stay 1 (the scalar "
+                "predictor would silently ignore it)"
             )
         if self.scheme in TWO_LEVEL_SCHEMES and self.scheme not in (
             "gap",
@@ -210,3 +225,144 @@ class PredictorSpec:
             entries = self.bht_entries or DEFAULT_SET_ENTRIES
             extra = f", sets={entries}"
         return f"{self.scheme}({self.size_label}{extra})"
+
+
+# ----------------------------------------------------------------------
+# Index-function API
+# ----------------------------------------------------------------------
+# Stateless index arithmetic shared by the vectorized engines
+# (:func:`repro.sim.vectorized.index_stream`), the dynamic aliasing
+# instrumentation built on them (:mod:`repro.aliasing`), and the static
+# checker (:mod:`repro.check`). Keeping "which counter does this PC
+# reach" in exactly one place is what lets alias sets be *proved*
+# ahead of time instead of merely observed after a simulation.
+
+#: Schemes whose second level is the row-major ``row * cols + column``
+#: grid of Figure 1 (everything except the idealized per-address-column
+#: designs, which allocate a dense column per static branch).
+ROW_MAJOR_SCHEMES: Tuple[str, ...] = (
+    "bimodal",
+    "gag",
+    "gas",
+    "gshare",
+    "path",
+    "pag",
+    "pas",
+    "sag",
+    "sas",
+    "agree",
+)
+
+#: Idealized designs whose second level grows with the static branch
+#: population (one column per address) — unbounded by construction.
+PER_ADDRESS_COLUMN_SCHEMES: Tuple[str, ...] = ("gap", "pap")
+
+#: Where each scheme's row index comes from (reporting/docs).
+ROW_SOURCES = {
+    "static": "none",
+    "bimodal": "none",
+    "gag": "global history",
+    "gas": "global history",
+    "gap": "global history",
+    "gshare": "global history xor PC",
+    "path": "path register",
+    "pag": "per-address history",
+    "pas": "per-address history",
+    "pap": "per-address history",
+    "sag": "per-set history",
+    "sas": "per-set history",
+    "agree": "global history xor PC",
+    "bimode": "global history xor PC",
+    "gskew": "skewed hashes of history and PC",
+    "tournament": "components",
+}
+
+
+def word_index(pc: IntOrArray) -> IntOrArray:
+    """Word-aligned PC: the address bits every table index derives from."""
+    if isinstance(pc, np.ndarray):
+        return (pc >> np.uint64(2)).astype(np.int64)
+    return int(pc) >> 2
+
+
+def column_index(spec: PredictorSpec, word: IntOrArray) -> IntOrArray:
+    """Column selected by the low word-address bits."""
+    return word & (spec.cols - 1)
+
+
+def counter_index(
+    spec: PredictorSpec, row: IntOrArray, word: IntOrArray
+) -> IntOrArray:
+    """Flat second-level index for a row-major scheme.
+
+    ``row`` may be unmasked (a raw history/hash value); the row mask is
+    applied here so every caller shares one bounds guarantee:
+    the result is provably in ``[0, num_counters)``.
+    """
+    if spec.scheme not in ROW_MAJOR_SCHEMES:
+        raise ConfigurationError(
+            f"{spec.scheme!r} is not a row-major scheme; its counter "
+            "coordinates are per-address"
+        )
+    return (row & (spec.rows - 1)) * spec.cols + column_index(spec, word)
+
+
+def max_counter_index(spec: PredictorSpec) -> int:
+    """Largest index :func:`counter_index` can produce for ``spec``."""
+    return int(counter_index(spec, spec.rows - 1, spec.cols - 1))
+
+
+def bht_set_count(spec: PredictorSpec) -> int:
+    """Number of first-level sets (tagged PA-family geometry)."""
+    if spec.bht_entries is None:
+        raise ConfigurationError(
+            f"{spec.describe()} has perfect first-level histories; "
+            "there is no set geometry"
+        )
+    return spec.bht_entries // spec.bht_assoc
+
+
+def bht_set_index(spec: PredictorSpec, word: IntOrArray) -> IntOrArray:
+    """First-level set selected by a word address.
+
+    Tagged PA-family tables use modulo placement over
+    ``entries / assoc`` sets; untagged per-set (SAg/SAs) tables are
+    direct indexed by the low ``log2(entries)`` bits.
+    """
+    if spec.scheme in SET_SCHEMES:
+        entries = spec.bht_entries or DEFAULT_SET_ENTRIES
+        return word & (entries - 1)
+    return word % bht_set_count(spec)
+
+
+def static_collision_key(
+    spec: PredictorSpec, word: IntOrArray
+) -> Optional[IntOrArray]:
+    """Partition key for ahead-of-time second-level alias analysis.
+
+    Two static branches *can* share a counter for some reachable
+    dynamic state if and only if their keys are equal; distinct keys
+    provably never collide. ``None`` means the scheme has no shared
+    second-level table (static predictors, tournament composites).
+
+    The key is exact because every row-selection source in the paper
+    (global history, per-address history, per-set history, path
+    register) ranges over its full value domain, so the only static
+    constraint two colliding branches must satisfy is column equality;
+    schemes that hash the PC into the *row* (agree, gskew) can collide
+    across columns too, collapsing all branches into one class, and the
+    idealized per-address-column designs (GAp/PAp) dedicate a column
+    per branch, so no two branches ever collide.
+    """
+    scheme = spec.scheme
+    if scheme in ("static", "tournament", "bimode"):
+        return None
+    if scheme in PER_ADDRESS_COLUMN_SCHEMES:
+        return word  # dense column per address: singleton classes
+    if scheme in ("agree", "gskew"):
+        # The PC feeds the row hash: any pair of branches can land on
+        # one counter for some history value.
+        if isinstance(word, np.ndarray):
+            return np.zeros_like(word)
+        return 0
+    return column_index(spec, word)

@@ -141,6 +141,7 @@ def sweep_tiers(
     paranoid: bool = False,
     deadline=None,
     on_point: Optional[Callable[[TierPoint, int, int], None]] = None,
+    precheck: bool = True,
 ) -> TierSurface:
     """Simulate every (columns x rows) split of every requested tier.
 
@@ -171,11 +172,39 @@ def sweep_tiers(
         points included, so ``done`` always counts true progress
         against ``total`` (the sweep's full point count). The CLI's
         ``--progress`` heartbeat rides on this.
+    precheck:
+        Statically verify every planned spec (``repro check configs``
+        semantics) before the first point simulates, so an unsound
+        configuration fails in milliseconds instead of mid-sweep.
+        The CLI exposes ``--no-precheck`` to skip it.
     """
     from repro.runtime.deadline import CooperativeInterrupt
     from repro.runtime.faults import maybe_inject
 
     size_bits = list(size_bits)
+    if precheck:
+        from repro.check.configs import verify_sweep_plan
+
+        with span("check.configs", scheme=scheme, trace=trace.name):
+            findings = verify_sweep_plan(
+                scheme,
+                size_bits,
+                bht_entries=bht_entries,
+                bht_assoc=bht_assoc,
+                row_bits_filter=row_bits_filter,
+            )
+        problems = [f for f in findings if f.severity != "info"]
+        counter("check.findings").inc(len(problems))
+        blocking = [f for f in problems if f.severity == "error"]
+        if blocking:
+            detail = "; ".join(f.render() for f in blocking[:3])
+            more = len(blocking) - 3
+            if more > 0:
+                detail += f"; ... {more} more"
+            raise ConfigurationError(
+                f"sweep precheck rejected {len(blocking)} planned "
+                f"point(s) before simulation: {detail}"
+            )
     journal = None
     restored: Dict[Tuple[int, int], TierPoint] = {}
     if checkpoint_dir is not None:

@@ -30,7 +30,14 @@ import numpy as np
 from repro.errors import ConfigurationError, TraceError
 from repro.predictors.bht import reset_history
 from repro.predictors.counters import counter_init_state, counter_outputs
-from repro.predictors.specs import DEFAULT_SET_ENTRIES, PredictorSpec
+from repro.predictors.specs import (
+    DEFAULT_SET_ENTRIES,
+    PredictorSpec,
+    bht_set_count,
+    bht_set_index,
+    counter_index,
+    word_index,
+)
 from repro.sim.fsm_scan import scan_automaton, segmented_counter_predictions
 from repro.sim.results import SimulationResult
 from repro.traces.trace import BranchTrace
@@ -193,7 +200,9 @@ def bht_miss_stream(
     tags = (words // num_sets).tolist()
     miss = np.empty(len(trace), dtype=bool)
     sets = [[] for _ in range(num_sets)]
-    for i in range(len(trace)):
+    # LRU recency is genuinely sequential state; this is the one
+    # documented per-access loop, and its result is cached per trace.
+    for i in range(len(trace)):  # check: allow(hot-loop)
         ways = sets[set_ids[i]]
         tag = tags[i]
         try:
@@ -224,28 +233,28 @@ def index_stream(spec: PredictorSpec, trace: BranchTrace) -> np.ndarray:
 
     Shared by the simulation engines and by the aliasing
     instrumentation (:mod:`repro.aliasing`), which counts conflicts on
-    exactly this stream.
+    exactly this stream. The flat-index arithmetic itself lives in the
+    spec layer (:func:`repro.predictors.specs.counter_index`) so the
+    static checker proves bounds on the same formula the engines run.
     """
     scheme = spec.scheme
-    words = (trace.pc >> np.uint64(2)).astype(np.int64)
+    words = word_index(trace.pc)
     row_mask = spec.rows - 1
-    col_mask = spec.cols - 1
 
     if scheme == "bimodal":
-        return words & col_mask
+        return counter_index(spec, 0, words)
     if scheme in ("gag", "gas"):
-        rows = global_history_stream(trace.taken, spec.history_bits) & row_mask
-        return rows * spec.cols + (words & col_mask)
+        rows = global_history_stream(trace.taken, spec.history_bits)
+        return counter_index(spec, rows, words)
     if scheme == "gshare":
         history = global_history_stream(trace.taken, spec.history_bits)
-        col_bits = (spec.cols - 1).bit_length()
-        rows = (history ^ (words >> col_bits)) & row_mask
-        return rows * spec.cols + (words & col_mask)
+        rows = history ^ (words >> spec.column_bits)
+        return counter_index(spec, rows, words)
     if scheme == "path":
         rows = path_register_stream(
             trace, spec.history_bits, spec.path_bits_per_branch
         )
-        return (rows & row_mask) * spec.cols + (words & col_mask)
+        return counter_index(spec, rows, words)
     if scheme in ("pag", "pas"):
         miss = None
         if spec.bht_entries is not None:
@@ -253,7 +262,7 @@ def index_stream(spec: PredictorSpec, trace: BranchTrace) -> np.ndarray:
         history = per_address_history_stream(
             trace, max(1, spec.history_bits), miss
         )
-        return (history & row_mask) * spec.cols + (words & col_mask)
+        return counter_index(spec, history, words)
     if scheme == "gap":
         rows = global_history_stream(trace.taken, spec.history_bits) & row_mask
         columns = _dense_pc_ids(trace.pc)
@@ -263,15 +272,16 @@ def index_stream(spec: PredictorSpec, trace: BranchTrace) -> np.ndarray:
         columns = _dense_pc_ids(trace.pc)
         return columns * spec.rows + (history & row_mask)
     if scheme in ("sag", "sas"):
-        entries = spec.bht_entries or DEFAULT_SET_ENTRIES
-        set_index = words & (entries - 1)
+        set_index = bht_set_index(spec, words)
         history = per_address_history_stream(
             trace, max(1, spec.history_bits), group_key=set_index
         )
-        return (history & row_mask) * spec.cols + (words & col_mask)
+        return counter_index(spec, history, words)
     if scheme == "agree":
         history = global_history_stream(trace.taken, spec.history_bits)
-        return (history ^ words) & row_mask
+        # cols == 1 for agree, so the row-major flat index reduces to
+        # the hashed row itself.
+        return counter_index(spec, history ^ words, words)
     raise ConfigurationError(
         f"no index stream for scheme {spec.scheme!r}"
     )

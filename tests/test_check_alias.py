@@ -1,0 +1,158 @@
+"""Static aliasing analysis vs dynamic instrumentation.
+
+The tentpole claim of the static pass: alias equivalence classes are a
+pure function of branch addresses and table geometry, so the partition
+computed without simulation must *exactly* match what
+:func:`repro.aliasing.observed_alias_sets` observes on workloads whose
+histories exercise the whole table.
+"""
+
+import pytest
+
+from repro.aliasing import observed_alias_sets
+from repro.check import (
+    StaticBranchInfo,
+    alias_pressure,
+    alias_sets,
+    branch_infos_from_program,
+    check_aliasing,
+    first_level_alias_sets,
+)
+from repro.errors import CheckError
+from repro.predictors.specs import PredictorSpec
+from repro.workloads.micro import (
+    aliasing_pair_trace,
+    biased_field_trace,
+    correlated_pair_trace,
+    loop_trace,
+)
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import build_program
+
+WORKLOADS = {
+    "pair": lambda: aliasing_pair_trace(400, stride_counters=8, opposite=False),
+    "field": lambda: biased_field_trace(branches=24, executions_each=80),
+    "correlated": lambda: correlated_pair_trace(1200, seed=1),
+    "loop": lambda: loop_trace(5, 40),  # one branch: nothing to alias
+}
+
+SPECS = {
+    "bimodal": PredictorSpec(scheme="bimodal", cols=8),
+    "gshare": PredictorSpec(scheme="gshare", rows=4, cols=4),
+    "gas": PredictorSpec(scheme="gas", rows=4, cols=4),
+    "pas": PredictorSpec(scheme="pas", rows=4, cols=4),
+}
+
+
+class TestStaticMatchesDynamic:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("scheme", sorted(SPECS))
+    def test_exact_agreement(self, workload, scheme):
+        trace = WORKLOADS[workload]()
+        spec = SPECS[scheme]
+        static = alias_sets(spec, (int(pc) for pc in trace.pc))
+        dynamic = observed_alias_sets(spec, trace)
+        assert static == dynamic
+
+    def test_static_is_superset_even_when_dynamics_miss(self):
+        # Destructive pair with opposite outcomes on a row-indexed
+        # scheme: the static class exists regardless of whether the
+        # dynamic stream happened to collide.
+        trace = aliasing_pair_trace(40, stride_counters=8, opposite=True)
+        spec = SPECS["gshare"]
+        static = alias_sets(spec, (int(pc) for pc in trace.pc))
+        dynamic = observed_alias_sets(spec, trace)
+        static_members = {pc for group in static for pc in group}
+        dynamic_members = {pc for group in dynamic for pc in group}
+        assert dynamic_members <= static_members
+
+    def test_per_address_columns_never_alias(self):
+        trace = biased_field_trace(branches=24, executions_each=10)
+        spec = PredictorSpec(scheme="gap", rows=4)
+        assert alias_sets(spec, (int(pc) for pc in trace.pc)) == []
+
+    def test_dealiased_schemes_share_one_class(self):
+        trace = biased_field_trace(branches=24, executions_each=10)
+        spec = PredictorSpec(scheme="agree", rows=16)
+        sets = alias_sets(spec, (int(pc) for pc in trace.pc))
+        assert len(sets) == 1
+        assert len(sets[0]) == 24
+
+
+class TestFirstLevelSets:
+    def test_groups_match_set_count(self):
+        trace = biased_field_trace(branches=32, executions_each=4)
+        spec = PredictorSpec(
+            scheme="pas", rows=4, cols=4, bht_entries=16, bht_assoc=4
+        )
+        groups = first_level_alias_sets(spec, (int(pc) for pc in trace.pc))
+        # 32 branches over 4 sets: every set holds 8 > assoc members.
+        assert len(groups) == 4
+        assert all(len(group) == 8 for group in groups)
+
+    def test_requires_pa_family_with_finite_bht(self):
+        with pytest.raises(CheckError):
+            first_level_alias_sets(SPECS["gshare"], [0x1000, 0x1004])
+        with pytest.raises(CheckError):
+            first_level_alias_sets(SPECS["pas"], [0x1000, 0x1004])
+
+
+class TestAliasPressure:
+    def _infos(self, directions):
+        return [
+            StaticBranchInfo(
+                pc=0x1000 + 4 * i,
+                direction=direction,
+                behavior_class="backedge" if direction else "unknown",
+                weight=1.0,
+            )
+            for i, direction in enumerate(directions)
+        ]
+
+    def test_same_direction_class_is_harmless(self):
+        # Two branches, one column: they collide, but both are steady
+        # taken -- the paper's harmless all-ones collision.
+        spec = PredictorSpec(scheme="bimodal", cols=1)
+        pressure = alias_pressure(spec, self._infos([True, True]))
+        assert pressure.alias_classes == 1
+        assert pressure.harmless_classes == 1
+        assert pressure.harmful_weight_share == 0.0
+
+    def test_mixed_direction_class_is_harmful(self):
+        spec = PredictorSpec(scheme="bimodal", cols=1)
+        pressure = alias_pressure(spec, self._infos([True, False]))
+        assert pressure.harmless_classes == 0
+        assert pressure.harmful_weight_share == 1.0
+
+    def test_unknown_member_poisons_the_class(self):
+        spec = PredictorSpec(scheme="bimodal", cols=1)
+        pressure = alias_pressure(spec, self._infos([True, None]))
+        assert pressure.harmless_classes == 0
+
+    def test_unaliased_field_has_zero_pressure(self):
+        spec = PredictorSpec(scheme="bimodal", cols=64)
+        pressure = alias_pressure(spec, self._infos([True] * 8))
+        assert pressure.alias_classes == 0
+        assert pressure.aliased_fraction == 0.0
+
+
+class TestCheckAliasingPass:
+    def test_emits_one_finding_per_cell(self):
+        findings = check_aliasing(
+            benchmarks=("espresso",), schemes=("gshare",), size_bits=(8, 10)
+        )
+        pressure = [f for f in findings if f.check == "alias.pressure"]
+        assert len(pressure) == 2
+        assert all(f.scheme == "gshare" for f in pressure)
+        assert all("best_point" in f.data for f in pressure)
+
+    def test_rejects_unsweepable_scheme(self):
+        with pytest.raises(CheckError):
+            check_aliasing(schemes=("agree",))
+
+    def test_program_extraction_covers_all_static_branches(self):
+        profile = get_profile("espresso")
+        program = build_program(profile, seed=0)
+        infos = branch_infos_from_program(program)
+        assert len(infos) == len({info.pc for info in infos})
+        assert len(infos) >= profile.static_branches * 0.5

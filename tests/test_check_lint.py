@@ -1,0 +1,258 @@
+"""Tests for the code pass (repo-invariant lint) and the check CLI."""
+
+import json
+import textwrap
+
+from repro.check import lint_paths, lint_source
+from repro.cli import EXIT_ERROR, main
+
+
+def lint(source, **kwargs):
+    return lint_source(
+        textwrap.dedent(source), filename="fixture.py", **kwargs
+    )
+
+
+def checks(findings):
+    return [f.check for f in findings]
+
+
+class TestBareExcept:
+    def test_flagged(self):
+        findings = lint(
+            """
+            try:
+                pass
+            except:
+                pass
+            """
+        )
+        assert checks(findings) == ["code.bare-except"]
+        assert findings[0].severity == "error"
+        assert findings[0].location == "fixture.py:4"
+
+    def test_named_handler_is_fine(self):
+        assert lint("try:\n    pass\nexcept ValueError:\n    pass\n") == []
+
+
+class TestMutableDefault:
+    def test_literal_defaults_flagged(self):
+        findings = lint("def f(a=[], b={}, *, c=set()):\n    pass\n")
+        assert checks(findings) == ["code.mutable-default"] * 3
+
+    def test_none_and_tuple_are_fine(self):
+        assert lint("def f(a=None, b=(), c=0):\n    pass\n") == []
+
+
+class TestHotLoop:
+    SOURCE = """
+        def index(trace):
+            for i in range(len(trace)):
+                pass
+        """
+
+    def test_flagged_in_hot_file(self):
+        findings = lint(self.SOURCE, is_hot=True)
+        assert checks(findings) == ["code.hot-loop"]
+
+    def test_not_flagged_in_cold_file(self):
+        assert lint(self.SOURCE) == []
+
+    def test_iterating_the_trace_is_flagged(self):
+        findings = lint(
+            "def f(trace):\n    for b in trace.pc:\n        pass\n",
+            is_hot=True,
+        )
+        assert checks(findings) == ["code.hot-loop"]
+
+    def test_length_bounded_while_is_flagged(self):
+        findings = lint(
+            "def f(xs):\n    i = 0\n    while i < len(xs):\n        i += 1\n",
+            is_hot=True,
+        )
+        assert checks(findings) == ["code.hot-loop"]
+
+    def test_log_pass_while_is_not_flagged(self):
+        # fsm_scan's doubling scan: bounded by a plain name, not len().
+        assert (
+            lint(
+                "def f(total):\n"
+                "    distance = 1\n"
+                "    while distance < total:\n"
+                "        distance *= 2\n",
+                is_hot=True,
+            )
+            == []
+        )
+
+    def test_allow_marker_suppresses(self):
+        findings = lint(
+            "def f(trace):\n"
+            "    for i in range(len(trace)):  # check: allow(hot-loop)\n"
+            "        pass\n",
+            is_hot=True,
+        )
+        assert findings == []
+
+
+class TestHotTime:
+    def test_flagged_in_hot_file(self):
+        findings = lint(
+            "import time\n\ndef f():\n    return time.perf_counter()\n",
+            is_hot=True,
+        )
+        assert checks(findings) == ["code.hot-time"]
+
+    def test_fine_in_cold_file(self):
+        assert (
+            lint("import time\n\ndef f():\n    return time.time()\n") == []
+        )
+
+
+class TestMetricName:
+    def test_undeclared_literal_flagged(self):
+        findings = lint('counter("sweep.bogus").inc()\n')
+        assert checks(findings) == ["code.metric-name"]
+
+    def test_declared_name_is_fine(self):
+        assert lint('counter("sweep.points_computed").inc()\n') == []
+        assert lint('histogram("sweep.point_s").observe(1.0)\n') == []
+
+    def test_dynamic_names_are_ignored(self):
+        assert lint("counter(name).inc()\n") == []
+
+
+class TestRawWrite:
+    def test_write_mode_warns(self):
+        findings = lint('open("out.csv", "w")\n')
+        assert checks(findings) == ["code.raw-write"]
+        assert findings[0].severity == "warning"
+
+    def test_read_mode_is_fine(self):
+        assert lint('open("in.csv")\n') == []
+        assert lint('open("in.csv", "r")\n') == []
+
+    def test_writer_module_is_exempt(self):
+        assert lint('open("tmp", "w")\n', is_writer=True) == []
+
+    def test_allow_marker_suppresses(self):
+        assert (
+            lint('open("sink", "w")  # check: allow(raw-write)\n') == []
+        )
+
+
+class TestSyntaxHandling:
+    def test_unparseable_source_is_a_finding(self):
+        findings = lint("def f(:\n")
+        assert checks(findings) == ["code.syntax"]
+        assert findings[0].severity == "error"
+
+
+class TestRepoIsClean:
+    def test_package_has_no_lint_errors(self):
+        findings = [
+            f for f in lint_paths() if f.severity in ("warning", "error")
+        ]
+        assert findings == [], [f.render() for f in findings]
+
+
+class TestCheckCli:
+    def test_check_all_on_repo_is_clean(self, capsys):
+        assert main(["check", "all"]) == 0
+        assert "-> OK" in capsys.readouterr().out
+
+    def test_code_pass_default_invocation(self, capsys):
+        assert main(["check", "code"]) == 0
+        out = capsys.readouterr().out
+        assert "code.coverage" in out
+
+    def test_hot_path_fixture_exits_1_with_json_finding(
+        self, tmp_path, capsys
+    ):
+        hot = tmp_path / "sim" / "vectorized.py"
+        hot.parent.mkdir()
+        hot.write_text(
+            "def index_stream(spec, trace):\n"
+            "    out = []\n"
+            "    for i in range(len(trace)):\n"
+            "        out.append(i)\n"
+            "    return out\n"
+        )
+        code = main(["check", "code", "--path", str(tmp_path), "--json"])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        findings = [
+            f for f in report["findings"] if f["check"] == "code.hot-loop"
+        ]
+        assert len(findings) == 1
+        assert findings[0]["severity"] == "error"
+        assert findings[0]["location"].endswith("vectorized.py:3")
+
+    def test_unsound_spec_file_exits_1_with_json_finding(
+        self, tmp_path, capsys
+    ):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(
+            json.dumps(
+                [
+                    {"scheme": "gshare", "rows": 4, "cols": 4},
+                    {
+                        "scheme": "pas",
+                        "rows": 4,
+                        "cols": 4,
+                        "bht_entries": 1024,
+                        "bht_assoc": 3,
+                    },
+                ]
+            )
+        )
+        code = main(
+            [
+                "check", "configs", "--spec-file", str(spec_file),
+                "--json", "--sizes", "4",
+            ]
+        )
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["error"] == 1
+        (finding,) = [
+            f for f in report["findings"] if f["severity"] == "error"
+        ]
+        assert finding["check"] == "config.first-level"
+        assert finding["scheme"] == "pas"
+        assert finding["point"] == "spec[1]"
+
+    def test_strict_escalates_warnings(self, tmp_path, capsys):
+        fixture = tmp_path / "module.py"
+        fixture.write_text('open("out.txt", "w")\n')
+        relaxed = main(["check", "code", "--path", str(tmp_path)])
+        capsys.readouterr()
+        strict = main(
+            ["check", "code", "--path", str(tmp_path), "--strict"]
+        )
+        assert (relaxed, strict) == (0, 1)
+        assert "-> FAIL" in capsys.readouterr().out
+
+    def test_unreadable_spec_file_is_internal_error(self, tmp_path, capsys):
+        code = main(
+            ["check", "configs", "--spec-file", str(tmp_path / "none.json")]
+        )
+        assert code == EXIT_ERROR
+
+    def test_unknown_pass_rejected_by_parser(self):
+        try:
+            main(["check", "bogus"])
+        except SystemExit as exit_info:
+            assert exit_info.code == 2
+        else:  # pragma: no cover - argparse always raises
+            raise AssertionError("argparse accepted an unknown pass")
+
+    def test_run_accepts_no_precheck(self, capsys):
+        code = main(
+            [
+                "run", "fig2", "--length", "2000",
+                "--benchmark", "compress", "--sizes", "4",
+                "--no-precheck",
+            ]
+        )
+        assert code == 0
