@@ -22,10 +22,18 @@ from repro.aliasing.classify import (
 from repro.aliasing.instrumentation import (
     aliasing_rate,
     conflict_mask,
+    dealias_delta,
+    interference_free_predictions,
     observed_alias_sets,
     sweep_aliasing,
 )
 from repro.aliasing.report import aliasing_report
+from repro.aliasing.weights import (
+    BranchWeight,
+    branch_weights_from_program,
+    branch_weights_from_trace,
+    stream_taken_rate,
+)
 
 __all__ = [
     "ConflictStats",
@@ -33,7 +41,13 @@ __all__ = [
     "all_ones_conflict_share",
     "aliasing_rate",
     "conflict_mask",
+    "dealias_delta",
+    "interference_free_predictions",
     "observed_alias_sets",
     "sweep_aliasing",
     "aliasing_report",
+    "BranchWeight",
+    "branch_weights_from_program",
+    "branch_weights_from_trace",
+    "stream_taken_rate",
 ]

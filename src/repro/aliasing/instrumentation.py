@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.predictors.specs import PredictorSpec
+from repro.sim.fsm_scan import segmented_counter_predictions
 from repro.sim.results import TierPoint, TierSurface
 from repro.sim.sweep import SWEEPABLE_SCHEMES, spec_for_point
 from repro.sim.vectorized import index_stream
@@ -103,6 +104,45 @@ def observed_alias_sets(
         tuple(sorted(members)) for members in groups.values()
         if len(members) > 1
     )
+
+
+def interference_free_predictions(
+    spec: PredictorSpec, trace: BranchTrace
+) -> np.ndarray:
+    """Predictions of the counterfactual *dealiased* predictor.
+
+    Every static branch gets a private copy of ``spec``'s second-level
+    table while keeping the identical per-access row selection: the
+    counter index is offset by ``branch_id * num_counters``, so two
+    branches can never share a counter but each branch's history-driven
+    row stream is untouched. The difference against the real table
+    (:func:`dealias_delta`) is therefore *exactly* the misprediction
+    cost of second-level aliasing — the quantity the static estimator
+    (:mod:`repro.check.estimator`) predicts without simulating.
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot simulate an empty trace")
+    indices = index_stream(spec, trace)
+    _, branch_ids = np.unique(trace.pc, return_inverse=True)
+    private = branch_ids.astype(np.int64) * spec.num_counters + indices
+    return segmented_counter_predictions(
+        private, trace.taken, counter_bits=spec.counter_bits
+    )
+
+
+def dealias_delta(spec: PredictorSpec, trace: BranchTrace) -> float:
+    """Simulated misprediction-rate delta of removing all second-level
+    aliasing (shared table minus private per-branch tables)."""
+    if len(trace) == 0:
+        raise TraceError("cannot simulate an empty trace")
+    indices = index_stream(spec, trace)
+    shared = segmented_counter_predictions(
+        indices, trace.taken, counter_bits=spec.counter_bits
+    )
+    private = interference_free_predictions(spec, trace)
+    shared_rate = float(np.count_nonzero(shared != trace.taken))
+    private_rate = float(np.count_nonzero(private != trace.taken))
+    return (shared_rate - private_rate) / len(trace)
 
 
 def sweep_aliasing(

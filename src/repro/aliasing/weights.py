@@ -1,0 +1,98 @@
+"""Per-branch dynamic direction weights.
+
+The static dealiasing-benefit estimator
+(:mod:`repro.check.estimator`) needs, for every static branch, two
+numbers: its share of the dynamic stream and its long-run taken rate.
+Both views of a workload provide them:
+
+* a materialized :class:`~repro.traces.trace.BranchTrace` yields exact
+  empirical weights (:func:`branch_weights_from_trace`, built on
+  :mod:`repro.traces.stats`);
+* a calibrated :class:`~repro.workloads.program.Program` yields the
+  *expected* weights ahead of any trace generation
+  (:func:`branch_weights_from_program`, built on the per-branch export
+  in :func:`repro.workloads.program.branch_direction_weights`).
+
+Either way the result is a normalized list of :class:`BranchWeight`
+records — the estimator is indifferent to the source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import TraceError
+from repro.traces.stats import per_branch_counts, per_branch_taken_rates
+from repro.traces.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class BranchWeight:
+    """One static branch's dynamic profile."""
+
+    pc: int
+    #: Share of the dynamic conditional-branch stream (sums to 1).
+    weight: float
+    #: Long-run taken probability.
+    taken_rate: float
+
+    @property
+    def taken_mass(self) -> float:
+        """Stream share of this branch's taken instances."""
+        return self.weight * self.taken_rate
+
+    @property
+    def not_taken_mass(self) -> float:
+        """Stream share of this branch's not-taken instances."""
+        return self.weight * (1.0 - self.taken_rate)
+
+
+def branch_weights_from_trace(trace: BranchTrace) -> List[BranchWeight]:
+    """Exact per-branch weights of a materialized trace.
+
+    Sorted hottest-first (the order :func:`per_branch_counts` reports).
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot extract branch weights from an empty trace")
+    pcs, counts = per_branch_counts(trace)
+    rates = per_branch_taken_rates(trace)
+    total = float(len(trace))
+    return [
+        BranchWeight(
+            pc=int(pc),
+            weight=int(count) / total,
+            taken_rate=rates[int(pc)],
+        )
+        for pc, count in zip(pcs, counts)
+    ]
+
+
+def branch_weights_from_program(program: object) -> List[BranchWeight]:
+    """Expected per-branch weights of a built synthetic program.
+
+    Thin adapter over the workload layer's own export
+    (:func:`repro.workloads.program.branch_direction_weights`), which
+    knows how behaviours and back-edge trip counts translate into
+    long-run taken rates.
+    """
+    from repro.workloads.program import Program, branch_direction_weights
+
+    if not isinstance(program, Program):
+        raise TraceError(
+            f"expected a workloads Program, got {type(program).__name__}"
+        )
+    return [
+        BranchWeight(pc=pc, weight=weight, taken_rate=rate)
+        for pc, weight, rate in branch_direction_weights(program)
+    ]
+
+
+def stream_taken_rate(weights: Sequence[BranchWeight]) -> float:
+    """Weighted overall taken fraction of the population."""
+    if not weights:
+        raise TraceError("cannot summarize an empty weight population")
+    total = sum(w.weight for w in weights)
+    if total <= 0.0:
+        raise TraceError("branch weights sum to zero")
+    return sum(w.taken_mass for w in weights) / total

@@ -1,17 +1,28 @@
 """Static verification: prove properties before spending simulation time.
 
-Three passes, exposed as ``repro check [configs|aliasing|code|all]``:
+Three core passes, exposed as ``repro check [configs|aliasing|code|all]``:
 
 * :mod:`repro.check.configs` — config contract verification: every
   registered scheme spec and every ``(c, r)`` sweep split is proved
-  index-sound before a sweep starts.
+  index-sound before a sweep starts; ``--fix`` attaches the nearest
+  sound split to budget mismatches.
 * :mod:`repro.check.static_alias` — ahead-of-time aliasing analysis:
   exact alias equivalence classes from static branch layout + table
   geometry, with predicted-harmless classification from behaviour
-  metadata (no simulation).
+  metadata and first-level set contention for the PA family
+  (no simulation).
 * :mod:`repro.check.lint` — AST-based repo invariants generic linters
-  can't express (hot-path purity, pre-declared metric names, atomic
-  artifact writes).
+  can't express (hot-path purity, trip-count-bounded hot loops,
+  pre-declared metric names, atomic artifact writes, checkpoint-key
+  stability).
+
+Plus one opt-in pass, ``repro check dealias`` (never part of ``all``):
+
+* :mod:`repro.check.estimator` — static dealiasing-benefit
+  estimation: an analytic row-occupancy mixture model predicting the
+  misprediction-rate delta dealiasing each sweep split would yield;
+  ``--validate`` cross-checks the predictions against the real engine
+  on the Figure-9 micro workloads.
 
 All passes emit :class:`~repro.check.findings.Finding` records;
 exit codes are 0 (clean), 1 (findings), 2 (internal error).
@@ -20,13 +31,21 @@ exit codes are 0 (clean), 1 (findings), 2 (internal error).
 from repro.check.configs import (
     canonical_specs,
     check_configs,
+    nearest_sound_split,
     verify_spec,
     verify_spec_dict,
     verify_sweep_plan,
 )
+from repro.check.estimator import (
+    SplitDelta,
+    check_dealias,
+    predict_dealias_delta,
+    predicted_split_deltas,
+    validate_dealias,
+)
 from repro.check.findings import SEVERITIES, CheckReport, Finding
 from repro.check.lint import lint_paths, lint_source
-from repro.check.runner import PASSES, run_checks
+from repro.check.runner import OPT_IN_PASSES, PASSES, run_checks
 from repro.check.static_alias import (
     AliasPressure,
     StaticBranchInfo,
@@ -42,9 +61,11 @@ __all__ = [
     "CheckReport",
     "SEVERITIES",
     "PASSES",
+    "OPT_IN_PASSES",
     "run_checks",
     "canonical_specs",
     "check_configs",
+    "nearest_sound_split",
     "verify_spec",
     "verify_spec_dict",
     "verify_sweep_plan",
@@ -57,4 +78,9 @@ __all__ = [
     "alias_pressure",
     "branch_infos_from_program",
     "check_aliasing",
+    "SplitDelta",
+    "check_dealias",
+    "predict_dealias_delta",
+    "predicted_split_deltas",
+    "validate_dealias",
 ]

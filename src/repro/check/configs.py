@@ -20,6 +20,7 @@ an exception mid-sweep.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -89,12 +90,54 @@ def canonical_specs() -> List[Tuple[str, PredictorSpec]]:
     return [(scheme, shapes[scheme]) for scheme in KNOWN_SCHEMES]
 
 
+def nearest_sound_split(
+    spec: PredictorSpec, budget_bits: int
+) -> Optional[PredictorSpec]:
+    """Closest sound ``(c, r)`` split of ``spec`` meeting a tier budget.
+
+    Walks every split of ``2^budget_bits`` counters, keeps those that
+    both construct (``PredictorSpec.validate``) and verify clean, and
+    returns the one closest to the original shape (column distance
+    first, then row distance). ``None`` when no split of the budget is
+    sound for the scheme.
+    """
+    candidates: List[Tuple[Tuple[int, int], PredictorSpec]] = []
+    for col_bits in range(budget_bits + 1):
+        row_bits = budget_bits - col_bits
+        try:
+            candidate = dataclasses.replace(
+                spec, rows=1 << row_bits, cols=1 << col_bits
+            )
+        except ConfigurationError:
+            continue
+        problems = [
+            finding
+            for finding in verify_spec(candidate, budget_bits=budget_bits)
+            if finding.severity == "error"
+        ]
+        if problems:
+            continue
+        distance = (
+            abs(col_bits - spec.column_bits),
+            abs(row_bits - spec.history_bits),
+        )
+        candidates.append((distance, candidate))
+    if not candidates:
+        return None
+    return min(candidates, key=lambda item: item[0])[1]
+
+
 def verify_spec(
     spec: PredictorSpec,
     budget_bits: Optional[int] = None,
     point: Optional[str] = None,
+    fix: bool = False,
 ) -> List[Finding]:
-    """Prove the index contracts for one constructed spec."""
+    """Prove the index contracts for one constructed spec.
+
+    With ``fix``, budget-mismatch findings carry the nearest sound
+    split in ``data["suggested_split"]`` (when one exists).
+    """
     findings: List[Finding] = []
 
     def add(check: str, severity: str, why: str, **data: Any) -> None:
@@ -121,16 +164,32 @@ def verify_spec(
 
     if budget_bits is not None and spec.scheme != "static":
         if spec.num_counters != 1 << budget_bits:
-            add(
-                "config.budget",
-                "error",
+            data: Dict[str, Any] = {
+                "budget_bits": budget_bits,
+                "num_counters": spec.num_counters,
+            }
+            why = (
                 f"column/row widths sum to {spec.column_bits} + "
                 f"{spec.history_bits} but the tier budget is "
                 f"n={budget_bits} (2^{budget_bits} counters, got "
-                f"{spec.num_counters})",
-                budget_bits=budget_bits,
-                num_counters=spec.num_counters,
+                f"{spec.num_counters})"
             )
+            if fix:
+                suggestion = nearest_sound_split(spec, budget_bits)
+                if suggestion is not None:
+                    data["suggested_split"] = {
+                        "cols": suggestion.cols,
+                        "rows": suggestion.rows,
+                        "point": (
+                            f"c={suggestion.column_bits} "
+                            f"r={suggestion.history_bits}"
+                        ),
+                    }
+                    why += (
+                        f"; nearest sound split is "
+                        f"{suggestion.size_label}"
+                    )
+            add("config.budget", "error", why, **data)
 
     if spec.scheme in ROW_MAJOR_SCHEMES:
         bound = max_counter_index(spec)
@@ -207,16 +266,34 @@ def verify_spec(
 
 
 def verify_spec_dict(
-    kwargs: Dict[str, Any], origin: str
+    kwargs: Dict[str, Any], origin: str, fix: bool = False
 ) -> List[Finding]:
     """Construct-and-verify a spec given as plain keyword data.
 
     Construction failures (the contract violations
     ``PredictorSpec.validate`` rejects) become error findings rather
     than exceptions, so one bad spec in a file does not hide the rest.
+    A ``"budget_bits"`` key is not part of the spec itself: it declares
+    the tier the spec must fill, enabling budget verification (and,
+    with ``fix``, split suggestions) for file-supplied specs.
     """
+    materialized = dict(kwargs)
+    budget_bits = materialized.pop("budget_bits", None)
+    if budget_bits is not None and not isinstance(budget_bits, int):
+        return [
+            Finding(
+                check="config.contract",
+                severity="error",
+                why=(
+                    "budget_bits must be an integer tier exponent, "
+                    f"got {budget_bits!r}"
+                ),
+                scheme=str(kwargs.get("scheme", "?")),
+                point=origin,
+            )
+        ]
     try:
-        spec = _spec_from_dict(kwargs)
+        spec = _spec_from_dict(materialized)
     except ConfigurationError as error:
         return [
             Finding(
@@ -237,7 +314,7 @@ def verify_spec_dict(
                 point=origin,
             )
         ]
-    return verify_spec(spec, point=origin)
+    return verify_spec(spec, budget_bits=budget_bits, point=origin, fix=fix)
 
 
 def _spec_from_dict(kwargs: Dict[str, Any]) -> PredictorSpec:
@@ -315,13 +392,15 @@ def check_configs(
     spec_dicts: Optional[List[Dict[str, Any]]] = None,
     schemes: Optional[Sequence[str]] = None,
     size_bits: Optional[Sequence[int]] = None,
+    fix: bool = False,
 ) -> List[Finding]:
     """The full configs pass.
 
     Verifies the canonical spec of every registered scheme, the whole
     sweep grid of every sweepable scheme (with and without a realistic
     first level for the PA family), and — when given — externally
-    supplied spec data.
+    supplied spec data. ``fix`` attaches nearest-sound-split
+    suggestions to budget mismatches.
     """
     from repro.sim.sweep import SWEEPABLE_SCHEMES
 
@@ -350,7 +429,9 @@ def check_configs(
 
     if spec_dicts:
         for index, kwargs in enumerate(spec_dicts):
-            findings.extend(verify_spec_dict(kwargs, origin=f"spec[{index}]"))
+            findings.extend(
+                verify_spec_dict(kwargs, origin=f"spec[{index}]", fix=fix)
+            )
             verified += 1
 
     findings.append(

@@ -1,0 +1,549 @@
+"""Opt-in pass: static dealiasing-benefit estimation.
+
+``repro check aliasing`` answers *where* branches collide; this pass
+answers *how much it costs*. For every ``(c, r)`` split of a tier it
+predicts the misprediction-rate delta that removing all second-level
+aliasing would yield — the exact quantity
+:func:`repro.aliasing.dealias_delta` measures by simulating the shared
+table against private per-branch tables — from the static layout and
+per-branch dynamic direction weights alone, with no simulation.
+
+The model is a row-occupancy mixture. An alias class (one
+:func:`repro.predictors.specs.static_collision_key` value) holds
+branches ``b`` with dynamic weight ``w_b`` and taken rate ``p_b``; the
+scheme's row source gives each member a stationary occupancy
+distribution ``P_b`` over the ``R`` rows of its column. A shared
+counter at row ``v`` then sees an access mass ``mass_v = sum_b w_b *
+P_b[v]`` whose blended taken rate is ``t_v = sum_b w_b * p_b * P_b[v]
+/ mass_v``, and costs ``M(t_v)`` mispredictions per access, where
+``M`` is the stationary misprediction rate of a saturating counter
+under iid outcomes
+(:func:`repro.predictors.specs.counter_stationary_misprediction`).
+Private tables cost ``sum_b w_b * M(p_b)``; the class's predicted
+delta is the (clamped-nonnegative) difference, and a split's delta is
+the sum over its classes. The paper's section-4 taxonomy emerges
+rather than being special-cased: same-direction classes blend to a
+rate each member already had (harmless, delta 0), opposite-direction
+classes blend toward 0.5 where ``M`` is maximal (harmful), and rows
+only one member visits contribute nothing.
+
+Row sources per scheme: global-history schemes (GAs, gshare) share a
+product-Bernoulli register distribution at the stream's taken rate —
+exact for randomly interleaved iid branches; gshare additionally
+XOR-permutes each member's view by its own PC bits, which is precisely
+the dealiasing mechanism the estimator credits it for. Per-address
+schemes give each member a register at its *own* rate; a finite
+first-level table (PAs) blends in the reset row with probability
+growing in the branch's BHT-set oversubscription. Per-set schemes use
+the set's weighted rate.
+
+``validate_dealias`` closes the loop: it runs the real engine on the
+Figure-9 micro workloads (:func:`repro.experiments.fig9.dealias_delta_surface`)
+and asserts the static prediction ranks the splits of a tier exactly
+as simulation does, and that absolute deltas agree within
+:data:`ABS_ERROR_BOUND`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.aliasing.weights import (
+    BranchWeight,
+    branch_weights_from_trace,
+    stream_taken_rate,
+)
+from repro.check.findings import Finding
+from repro.errors import CheckError
+from repro.predictors.specs import (
+    PER_ADDRESS_SCHEMES,
+    SET_SCHEMES,
+    PredictorSpec,
+    bht_set_index,
+    counter_stationary_misprediction_array,
+    history_row_distribution,
+    static_collision_key,
+    word_index,
+    xor_permuted_distribution,
+)
+from repro.traces.trace import BranchTrace
+
+#: Predicted class delta above which the class counts as harmful.
+HARMFUL_CLASS_EPSILON = 1e-6
+
+#: Best-split predicted delta above which a ``dealias.benefit`` finding
+#: escalates from note to warning: even the friendliest (c, r) choice
+#: of the tier leaves this much misprediction on the table to aliasing.
+DEALIAS_WARNING_DELTA = 0.02
+
+#: Length of the validation micro traces. The dominant residual
+#: between model and engine is the private counterfactual's cold
+#: counters (it has branch_count x more of them than the shared
+#: table), which is a fixed misprediction *count* — long traces
+#: amortize it below the bounds. 24k accesses leave ~0.026 of bias;
+#: 96k leaves ~0.005.
+VALIDATION_TRACE_LENGTH = 96_000
+
+#: Validation: simulated deltas closer than this are ties — ranking
+#: disagreements inside a tie are noise, not model error. Twice the
+#: worst observed cold-start + Monte-Carlo jitter at the validation
+#: trace length (0.004, mixed-field gshare r=4 vs r=6).
+TIE_EPSILON = 8e-3
+
+#: Validation: maximum tolerated |predicted - simulated| per split —
+#: twice the worst error observed at the validation trace length
+#: (0.0052, mixed-field gshare/gas at the single-column split).
+ABS_ERROR_BOUND = 0.01
+
+#: Tier exponent the validation harness sweeps (64 counters: small
+#: enough that sharing is forced at the column-poor end, large enough
+#: that the column-rich end fully dealiases the micro field).
+VALIDATION_SIZE_BITS = 6
+
+#: Schemes the validation harness exercises by default — one
+#: global-history, one PC-hashed, one per-address family member.
+VALIDATION_SCHEMES = ("gshare", "gas", "pas")
+
+
+def _validation_micros() -> Dict[str, Callable[[], BranchTrace]]:
+    from repro.workloads.micro import interference_field_trace
+
+    return {
+        # Even mix of steady-taken / steady-not-taken branches: both
+        # harmless and harmful classes appear at every shared split.
+        "mixed-field": lambda: interference_field_trace(
+            length=VALIDATION_TRACE_LENGTH,
+            taken_fraction=0.5,
+            seed=0,
+            name="mixed-field",
+        ),
+        # Skewed mix: the stream rate leaves 0.5, so the global
+        # register distribution is visibly non-uniform.
+        "skewed-field": lambda: interference_field_trace(
+            length=VALIDATION_TRACE_LENGTH,
+            taken_fraction=0.75,
+            seed=1,
+            name="skewed-field",
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class SplitDelta:
+    """Predicted dealiasing benefit of one (c, r) split."""
+
+    col_bits: int
+    row_bits: int
+    #: Misprediction-rate delta removing all second-level aliasing
+    #: would yield (>= 0 by construction).
+    predicted_delta: float
+    #: Multi-member alias classes at this column width.
+    alias_classes: int
+    #: Classes whose predicted delta exceeds the harmfulness epsilon.
+    harmful_classes: int
+
+    @property
+    def point(self) -> str:
+        return f"c={self.col_bits} r={self.row_bits}"
+
+
+def _row_distributions(
+    spec: PredictorSpec,
+    members: Sequence[BranchWeight],
+    stream_rate: float,
+    set_population: Optional[Mapping[int, int]],
+) -> np.ndarray:
+    """Per-member stationary row-occupancy matrix, shape (B, R)."""
+    rows = spec.rows
+    count = len(members)
+    if rows == 1:
+        return np.ones((count, 1), dtype=np.float64)
+    scheme = spec.scheme
+    bits = spec.history_bits
+    if scheme in ("gag", "gas"):
+        base = history_row_distribution(bits, stream_rate)
+        return np.tile(base, (count, 1))
+    if scheme == "gshare":
+        base = history_row_distribution(bits, stream_rate)
+        return np.stack(
+            [
+                xor_permuted_distribution(
+                    base, word_index(member.pc) >> spec.column_bits
+                )
+                for member in members
+            ]
+        )
+    if scheme == "path":
+        # Path registers hash target bits; model them as mixing over
+        # the full row space.
+        base = history_row_distribution(bits, 0.5)
+        return np.tile(base, (count, 1))
+    if scheme in PER_ADDRESS_SCHEMES:
+        occupancy = np.stack(
+            [
+                history_row_distribution(bits, member.taken_rate)
+                for member in members
+            ]
+        )
+        if set_population is not None:
+            from repro.predictors.bht import reset_history
+
+            reset_row = reset_history(bits) & (rows - 1)
+            for position, member in enumerate(members):
+                set_id = int(bht_set_index(spec, word_index(member.pc)))
+                residents = set_population.get(set_id, 1)
+                pollution = max(0.0, 1.0 - spec.bht_assoc / residents)
+                if pollution > 0.0:
+                    occupancy[position] *= 1.0 - pollution
+                    occupancy[position, reset_row] += pollution
+        return occupancy
+    if scheme in SET_SCHEMES:
+        # One untagged register per set: colliding branches interleave
+        # into it, so every member of a set sees a register at the
+        # set's weighted taken rate.
+        sets: Dict[int, List[int]] = {}
+        for position, member in enumerate(members):
+            set_id = int(bht_set_index(spec, word_index(member.pc)))
+            sets.setdefault(set_id, []).append(position)
+        occupancy = np.empty((count, rows), dtype=np.float64)
+        for positions in sets.values():
+            weight = sum(members[i].weight for i in positions) or 1.0
+            rate = (
+                sum(members[i].weight * members[i].taken_rate
+                    for i in positions)
+                / weight
+            )
+            base = history_row_distribution(bits, rate)
+            for i in positions:
+                occupancy[i] = base
+        return occupancy
+    raise CheckError(
+        f"no analytic row model for scheme {scheme!r}"
+    )
+
+
+def _class_delta(
+    spec: PredictorSpec,
+    members: Sequence[BranchWeight],
+    stream_rate: float,
+    set_population: Optional[Mapping[int, int]],
+) -> float:
+    """Predicted misprediction cost of one multi-member alias class."""
+    rates = np.array([m.taken_rate for m in members], dtype=np.float64)
+    weights = np.array([m.weight for m in members], dtype=np.float64)
+    occupancy = _row_distributions(spec, members, stream_rate,
+                                   set_population)
+    mass = weights @ occupancy
+    taken_mass = (weights * rates) @ occupancy
+    visited = mass > 0.0
+    blended = taken_mass[visited] / mass[visited]
+    aliased = float(
+        np.sum(
+            mass[visited]
+            * counter_stationary_misprediction_array(
+                blended, spec.counter_bits
+            )
+        )
+    )
+    private = float(
+        np.sum(
+            weights
+            * counter_stationary_misprediction_array(
+                rates, spec.counter_bits
+            )
+        )
+    )
+    return max(0.0, aliased - private)
+
+
+def predict_dealias_delta(
+    spec: PredictorSpec,
+    weights: Sequence[BranchWeight],
+    stream_rate: Optional[float] = None,
+) -> SplitDelta:
+    """Predicted dealiasing benefit of ``spec`` for a branch population.
+
+    Partitions the branches into exact alias classes with the same
+    :func:`~repro.predictors.specs.static_collision_key` the engines
+    index with, prices each multi-member class with the row-occupancy
+    mixture model, and sums. Singleton classes are free by definition —
+    a branch alone in its class can never share a counter.
+    """
+    if not weights:
+        raise CheckError("need at least one branch weight")
+    if stream_rate is None:
+        stream_rate = stream_taken_rate(weights)
+    classes: Dict[int, List[BranchWeight]] = {}
+    for member in weights:
+        key = static_collision_key(spec, word_index(member.pc))
+        if key is None:
+            raise CheckError(
+                f"{spec.describe()} has no shared second-level table; "
+                "there is nothing to dealias"
+            )
+        classes.setdefault(int(key), []).append(member)
+
+    set_population: Optional[Dict[int, int]] = None
+    if (
+        spec.scheme in PER_ADDRESS_SCHEMES
+        and spec.bht_entries is not None
+    ):
+        set_population = {}
+        for member in weights:
+            set_id = int(bht_set_index(spec, word_index(member.pc)))
+            set_population[set_id] = set_population.get(set_id, 0) + 1
+
+    delta = 0.0
+    multi = 0
+    harmful = 0
+    for members in classes.values():
+        if len(members) < 2:
+            continue
+        multi += 1
+        cost = _class_delta(spec, members, stream_rate, set_population)
+        if cost > HARMFUL_CLASS_EPSILON:
+            harmful += 1
+        delta += cost
+    return SplitDelta(
+        col_bits=spec.column_bits,
+        row_bits=spec.history_bits,
+        predicted_delta=delta,
+        alias_classes=multi,
+        harmful_classes=harmful,
+    )
+
+
+def predicted_split_deltas(
+    scheme: str,
+    weights: Sequence[BranchWeight],
+    size_bits: int,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    counter_bits: int = 2,
+) -> List[SplitDelta]:
+    """Predicted deltas for every (c, r) split of one tier, r ascending.
+
+    Mirrors :func:`repro.experiments.fig9.dealias_delta_surface`
+    point-for-point, so the two are directly comparable.
+    """
+    from repro.sim.sweep import SWEEPABLE_SCHEMES, spec_for_point
+
+    if scheme not in SWEEPABLE_SCHEMES:
+        raise CheckError(
+            f"dealias estimation sweeps {SWEEPABLE_SCHEMES}, "
+            f"not {scheme!r}"
+        )
+    stream_rate = stream_taken_rate(weights)
+    splits: List[SplitDelta] = []
+    for row_bits in range(size_bits + 1):
+        spec = spec_for_point(
+            scheme,
+            col_bits=size_bits - row_bits,
+            row_bits=row_bits,
+            bht_entries=bht_entries,
+            bht_assoc=bht_assoc,
+            counter_bits=counter_bits,
+        )
+        splits.append(predict_dealias_delta(spec, weights, stream_rate))
+    return splits
+
+
+def _supports_bht(scheme: str) -> bool:
+    return scheme in PER_ADDRESS_SCHEMES or scheme in SET_SCHEMES
+
+
+def check_dealias(
+    benchmarks: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    size_bits: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+) -> List[Finding]:
+    """The static estimation pass: predicted benefit per sweep tier.
+
+    For every benchmark program, scheme and tier, predicts the
+    dealiasing benefit of every split and reports the best and worst.
+    A tier whose *best* split still leaves more than
+    :data:`DEALIAS_WARNING_DELTA` to aliasing warns — no (c, r) choice
+    will dealias that workload at that budget.
+    """
+    from repro.aliasing.weights import branch_weights_from_program
+    from repro.workloads.profiles import FOCUS_BENCHMARKS, get_profile
+    from repro.workloads.program import build_program
+
+    benchmarks = tuple(benchmarks or FOCUS_BENCHMARKS)
+    schemes = tuple(schemes or ("gshare", "gas", "pas"))
+    grid = tuple(size_bits or (8, 10, 12))
+
+    findings: List[Finding] = []
+    for benchmark in benchmarks:
+        program = build_program(get_profile(benchmark), seed=seed)
+        weights = branch_weights_from_program(program)
+        for scheme in schemes:
+            entries = bht_entries if _supports_bht(scheme) else None
+            for n in grid:
+                splits = predicted_split_deltas(
+                    scheme,
+                    weights,
+                    n,
+                    bht_entries=entries,
+                    bht_assoc=bht_assoc,
+                )
+                best = min(splits, key=lambda s: s.predicted_delta)
+                worst = max(splits, key=lambda s: s.predicted_delta)
+                severity = (
+                    "warning"
+                    if best.predicted_delta > DEALIAS_WARNING_DELTA
+                    else "info"
+                )
+                findings.append(
+                    Finding(
+                        check="dealias.benefit",
+                        severity=severity,
+                        why=(
+                            f"{benchmark}: dealiasing the worst split "
+                            f"({worst.point}) is predicted to save "
+                            f"{worst.predicted_delta:.4f} misprediction "
+                            f"rate across {worst.harmful_classes} "
+                            f"harmful class(es); the best split "
+                            f"({best.point}) still leaves "
+                            f"{best.predicted_delta:.4f} to aliasing"
+                        ),
+                        scheme=scheme,
+                        point=f"n={n} {worst.point}",
+                        data={
+                            "benchmark": benchmark,
+                            "worst_delta": round(worst.predicted_delta, 6),
+                            "best_point": best.point,
+                            "best_delta": round(best.predicted_delta, 6),
+                            "deltas": [
+                                round(s.predicted_delta, 6) for s in splits
+                            ],
+                        },
+                    )
+                )
+    return findings
+
+
+def _discordant_pairs(
+    predicted: Sequence[float],
+    simulated: Sequence[float],
+    tie_epsilon: float,
+) -> int:
+    """Split pairs the static model ranks against the simulation.
+
+    Only pairs whose simulated deltas differ by more than the tie
+    epsilon count; within a tie, either order is acceptable.
+    """
+    discordant = 0
+    total = len(simulated)
+    for i in range(total):
+        for j in range(i + 1, total):
+            gap = simulated[j] - simulated[i]
+            if abs(gap) <= tie_epsilon:
+                continue
+            if gap * (predicted[j] - predicted[i]) <= 0:
+                discordant += 1
+    return discordant
+
+
+def validate_dealias(
+    micros: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    size_bits: Optional[Sequence[int]] = None,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+) -> List[Finding]:
+    """Validate the estimator against the real engine (Figure-9 grid).
+
+    For each (micro workload x scheme x tier), simulates the true
+    deltas with :func:`repro.experiments.fig9.dealias_delta_surface`
+    and checks two properties: the static prediction ranks the tier's
+    splits identically (no discordant pairs outside simulated ties of
+    :data:`TIE_EPSILON`), and every split's absolute error stays under
+    :data:`ABS_ERROR_BOUND`. Each cell yields one ``dealias.validation``
+    finding — info when both hold, error otherwise.
+    """
+    from repro.experiments.fig9 import dealias_delta_surface
+
+    available = _validation_micros()
+    names = tuple(micros or available)
+    schemes = tuple(schemes or VALIDATION_SCHEMES)
+    grid = tuple(size_bits or (VALIDATION_SIZE_BITS,))
+
+    findings: List[Finding] = []
+    for name in names:
+        factory = available.get(name)
+        if factory is None:
+            raise CheckError(
+                f"unknown validation micro {name!r}; choose from "
+                f"{tuple(available)}"
+            )
+        trace = factory()
+        weights = branch_weights_from_trace(trace)
+        for scheme in schemes:
+            entries = bht_entries if _supports_bht(scheme) else None
+            for n in grid:
+                splits = predicted_split_deltas(
+                    scheme,
+                    weights,
+                    n,
+                    bht_entries=entries,
+                    bht_assoc=bht_assoc,
+                )
+                surface = dealias_delta_surface(
+                    scheme,
+                    trace,
+                    [n],
+                    bht_entries=entries,
+                    bht_assoc=bht_assoc,
+                )[n]
+                predicted = [s.predicted_delta for s in splits]
+                simulated = [delta for _, _, delta in surface]
+                errors = [
+                    abs(p - s) for p, s in zip(predicted, simulated)
+                ]
+                max_error = max(errors)
+                worst_split = splits[errors.index(max_error)].point
+                discordant = _discordant_pairs(
+                    predicted, simulated, TIE_EPSILON
+                )
+                ok = discordant == 0 and max_error <= ABS_ERROR_BOUND
+                verdict = (
+                    "static ranking matches simulation"
+                    if ok
+                    else "static model disagrees with simulation"
+                )
+                findings.append(
+                    Finding(
+                        check="dealias.validation",
+                        severity="info" if ok else "error",
+                        why=(
+                            f"{name}: {verdict} — {discordant} "
+                            f"discordant pair(s), max |predicted - "
+                            f"simulated| = {max_error:.4f} at "
+                            f"{worst_split} (bound "
+                            f"{ABS_ERROR_BOUND})"
+                        ),
+                        scheme=scheme,
+                        point=f"n={n}",
+                        data={
+                            "micro": name,
+                            "discordant_pairs": discordant,
+                            "max_abs_error": round(max_error, 6),
+                            "abs_error_bound": ABS_ERROR_BOUND,
+                            "tie_epsilon": TIE_EPSILON,
+                            "predicted": [
+                                round(p, 6) for p in predicted
+                            ],
+                            "simulated": [
+                                round(s, 6) for s in simulated
+                            ],
+                        },
+                    )
+                )
+    return findings

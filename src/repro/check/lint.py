@@ -5,9 +5,15 @@ this codebase relies on:
 
 * ``code.hot-loop`` / ``code.hot-time`` — the vectorized hot paths
   (:mod:`repro.sim.vectorized`, :mod:`repro.sim.fsm_scan`) must stay
-  free of per-branch Python loops and of ``time.*`` calls (timing
-  belongs to the callers and :mod:`repro.obs`); one documented
-  exception (the first-level LRU) carries an allow marker.
+  free of per-access Python loops and of ``time.*`` calls (timing
+  belongs to the callers and :mod:`repro.obs`). A ``for`` loop in a
+  hot file passes only when its trip count has *bounded provenance*:
+  ``range(...)`` over register-width constants
+  (:data:`TRIP_COUNT_NAMES`, int literals, and arithmetic over them)
+  or a literal tuple/list. Anything else — iterating a trace, an
+  array, ``range(len(...))``, ``range(n)`` for an arbitrary ``n`` —
+  scales with accesses and is flagged; the one documented exception
+  (the first-level LRU) carries an allow marker.
 * ``code.metric-name`` — every literal instrument name passed to
   ``counter()``/``gauge()``/``histogram()`` must be pre-declared in
   :data:`repro.obs.metrics.WELL_KNOWN`, keeping snapshots schema-stable.
@@ -18,6 +24,12 @@ this codebase relies on:
 * ``code.bare-except`` — a bare ``except:`` swallows ``SystemExit`` and
   ``KeyboardInterrupt``, breaking the cooperative-interrupt runtime.
 * ``code.mutable-default`` — mutable default arguments.
+* ``code.checkpoint-key`` — :func:`repro.runtime.checkpoint.sweep_key`
+  is the identity of every resumable sweep journal; its parameter
+  tuple, payload dict keys, and ``sort_keys=True`` serialization are
+  pinned here. An edit that changes any of them silently orphans every
+  existing checkpoint, so it must trip this rule (and the golden-key
+  fixtures in the test suite) and be made deliberately.
 
 A finding on a line containing ``check: allow(<rule>)`` is suppressed;
 the marker doubles as in-source documentation of the exception.
@@ -27,7 +39,7 @@ from __future__ import annotations
 
 import ast
 import os
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.check.findings import Finding
 from repro.errors import CheckError
@@ -43,6 +55,56 @@ HOT_PATH_SUFFIXES: Tuple[str, ...] = (
 WRITER_SUFFIXES: Tuple[str, ...] = (
     "runtime/checkpoint.py",
     "traces/io.py",
+)
+
+#: Modules holding checkpoint-identity code the key-stability rule pins.
+CHECKPOINT_SUFFIXES: Tuple[str, ...] = (
+    "runtime/checkpoint.py",
+)
+
+#: Names that denote register-width/table-geometry constants: a hot
+#: ``for`` loop over ``range()`` of these is O(bits), not O(accesses),
+#: and needs no allow marker.
+TRIP_COUNT_NAMES: FrozenSet[str] = frozenset(
+    {
+        "bits",
+        "counter_bits",
+        "history_bits",
+        "row_bits",
+        "col_bits",
+        "column_bits",
+        "slots",
+        "num_states",
+        "n_states",
+        "bits_per_target",
+        "path_bits_per_branch",
+    }
+)
+
+#: Pinned ``sweep_key`` signature: the checkpoint identity function's
+#: parameters, in order. Changing this tuple (or the function to not
+#: match it) orphans every existing sweep journal.
+SWEEP_KEY_PARAMS: Tuple[str, ...] = (
+    "scheme",
+    "trace_fingerprint",
+    "size_bits",
+    "bht_entries",
+    "bht_assoc",
+    "engine",
+    "row_bits_filter",
+)
+
+#: Pinned ``sweep_key`` payload dict keys, in written order. (The
+#: digest sorts keys, so a pure reorder keeps old keys valid — but the
+#: pin is deliberately stricter: any edit to the payload shape should
+#: be a conscious, reviewed act.)
+SWEEP_KEY_PAYLOAD_KEYS: Tuple[str, ...] = (
+    "scheme",
+    "trace",
+    "size_bits",
+    "bht_entries",
+    "bht_assoc",
+    "row_bits_filter",
 )
 
 _ALLOW_MARKER = "check: allow("
@@ -103,11 +165,13 @@ class _Linter(ast.NodeVisitor):
         is_hot: bool,
         is_writer: bool,
         metric_names: "dict[str, Set[str]]",
+        is_checkpoint: bool = False,
     ) -> None:
         self.filename = filename
         self.lines = lines
         self.is_hot = is_hot
         self.is_writer = is_writer
+        self.is_checkpoint = is_checkpoint
         self.metric_names = metric_names
         self.findings: List[Finding] = []
 
@@ -141,11 +205,44 @@ class _Linter(ast.NodeVisitor):
         )
 
     @staticmethod
-    def _is_trace_expr(node: ast.AST) -> bool:
+    def _is_bounded_trip_expr(node: ast.AST) -> bool:
+        """An expression whose value is provably register-width sized:
+        an int literal, a name/attribute from the trip-count
+        vocabulary, or arithmetic over those."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, int)
         if isinstance(node, ast.Name):
-            return node.id == "trace"
+            return node.id in TRIP_COUNT_NAMES
         if isinstance(node, ast.Attribute):
-            return _Linter._is_trace_expr(node.value)
+            return node.attr in TRIP_COUNT_NAMES
+        if isinstance(node, ast.UnaryOp):
+            return _Linter._is_bounded_trip_expr(node.operand)
+        if isinstance(node, ast.BinOp):
+            return _Linter._is_bounded_trip_expr(
+                node.left
+            ) and _Linter._is_bounded_trip_expr(node.right)
+        return False
+
+    @staticmethod
+    def _has_bounded_trip_count(iter_node: ast.AST) -> bool:
+        """Provenance check for a hot ``for`` loop's iterable.
+
+        Bounded means the trip count is a function of table geometry,
+        not of trace length: ``range()`` over bounded expressions, or
+        a literal tuple/list (fixed arity by construction).
+        """
+        if isinstance(iter_node, (ast.Tuple, ast.List)):
+            return True
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+            and iter_node.args
+        ):
+            return all(
+                _Linter._is_bounded_trip_expr(arg)
+                for arg in iter_node.args
+            )
         return False
 
     # -- rules --------------------------------------------------------
@@ -184,24 +281,100 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        if self.is_checkpoint and node.name == "sweep_key":
+            self._check_sweep_key(node)
         self.generic_visit(node)
+
+    def _check_sweep_key(self, node: ast.FunctionDef) -> None:
+        """Pin the checkpoint identity function against silent edits."""
+        params = tuple(arg.arg for arg in node.args.args)
+        if params != SWEEP_KEY_PARAMS:
+            self._add(
+                "checkpoint-key",
+                "error",
+                node.lineno,
+                "sweep_key() parameters changed from the pinned "
+                f"{SWEEP_KEY_PARAMS} to {params}; every existing sweep "
+                "journal keys on this signature — update the pin (and "
+                "the golden-key fixtures) only as a deliberate format "
+                "break",
+            )
+        payload_keys: Optional[Tuple[str, ...]] = None
+        payload_line = node.lineno
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Dict)
+                and sub.keys
+                and all(
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    for key in sub.keys
+                )
+            ):
+                payload_keys = tuple(
+                    key.value  # type: ignore[union-attr]
+                    for key in sub.keys
+                )
+                payload_line = sub.lineno
+                break
+        if payload_keys is None:
+            self._add(
+                "checkpoint-key",
+                "error",
+                node.lineno,
+                "sweep_key() no longer builds a literal payload dict; "
+                "the digest inputs can no longer be statically "
+                "verified against the pinned key set",
+            )
+        elif payload_keys != SWEEP_KEY_PAYLOAD_KEYS:
+            self._add(
+                "checkpoint-key",
+                "error",
+                payload_line,
+                "sweep_key() payload keys changed from the pinned "
+                f"{SWEEP_KEY_PAYLOAD_KEYS} to {payload_keys}; old "
+                "journals would silently never resume — update the "
+                "pin (and the golden-key fixtures) only as a "
+                "deliberate format break",
+            )
+        sorted_dump = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "dumps"
+            and any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in sub.keywords
+            )
+            for sub in ast.walk(node)
+        )
+        if not sorted_dump:
+            self._add(
+                "checkpoint-key",
+                "error",
+                node.lineno,
+                "sweep_key() must serialize its payload with "
+                "json.dumps(..., sort_keys=True); without it dict "
+                "insertion order leaks into the digest and identical "
+                "sweeps stop resuming each other",
+            )
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
         self.generic_visit(node)
 
     def visit_For(self, node: ast.For) -> None:
-        if self.is_hot and (
-            self._contains_len_call(node.iter)
-            or self._is_trace_expr(node.iter)
-        ):
+        if self.is_hot and not self._has_bounded_trip_count(node.iter):
             self._add(
                 "hot-loop",
                 "error",
                 node.lineno,
-                "per-access Python loop in a vectorized hot path; "
-                "express it as array operations (or document the "
-                "exception with an allow marker)",
+                "for-loop without trip-count provenance in a "
+                "vectorized hot path; iterate range() over a "
+                "register-width constant or a literal tuple, express "
+                "it as array operations, or document the exception "
+                "with an allow marker",
             )
         self.generic_visit(node)
 
@@ -288,6 +461,7 @@ def lint_source(
     filename: str,
     is_hot: bool = False,
     is_writer: bool = False,
+    is_checkpoint: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text (the unit the tests drive)."""
     try:
@@ -307,6 +481,7 @@ def lint_source(
         is_hot=is_hot,
         is_writer=is_writer,
         metric_names=_declared_metric_names(),
+        is_checkpoint=is_checkpoint,
     )
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: f.location or "")
@@ -316,6 +491,7 @@ def lint_paths(
     paths: Optional[Sequence[str]] = None,
     hot_suffixes: Sequence[str] = HOT_PATH_SUFFIXES,
     writer_suffixes: Sequence[str] = WRITER_SUFFIXES,
+    checkpoint_suffixes: Sequence[str] = CHECKPOINT_SUFFIXES,
 ) -> List[Finding]:
     """The full code pass over ``paths`` (default: the repro package)."""
     resolved = list(paths) if paths else default_paths()
@@ -335,6 +511,7 @@ def lint_paths(
                 filename=filename,
                 is_hot=_matches(filename, hot_suffixes),
                 is_writer=_matches(filename, writer_suffixes),
+                is_checkpoint=_matches(filename, checkpoint_suffixes),
             )
         )
         checked += 1

@@ -184,18 +184,56 @@ def alias_pressure(
 #: table" regime and no (c, r) choice will dealias it.
 HARMFUL_SHARE_WARNING = 0.5
 
+#: Dynamic-weight share contending for oversubscribed first-level sets
+#: above which the ``alias.first-level`` finding escalates to warning.
+OVERSUBSCRIBED_SHARE_WARNING = 0.25
+
+
+def _first_level_pressure(
+    spec: PredictorSpec, infos: Sequence[StaticBranchInfo]
+) -> Dict[str, object]:
+    """BHT set-contention stats for a PA-family spec with a finite
+    first level.
+
+    A set only loses histories once it holds more branches than ways,
+    so pressure counts groups larger than the associativity and the
+    dynamic-weight share living in them (the weight whose per-address
+    histories keep getting reset — the paper's Figure-10 pollution).
+    """
+    by_pc = {info.pc: info for info in infos}
+    groups = first_level_alias_sets(spec, by_pc)
+    oversubscribed = [g for g in groups if len(g) > spec.bht_assoc]
+    total_weight = sum(info.weight for info in infos) or 1.0
+    contended = sum(
+        by_pc[pc].weight for group in oversubscribed for pc in group
+    )
+    return {
+        "bht_entries": spec.bht_entries,
+        "bht_assoc": spec.bht_assoc,
+        "shared_sets": len(groups),
+        "oversubscribed_sets": len(oversubscribed),
+        "largest_set": max((len(g) for g in groups), default=0),
+        "contended_weight_share": round(contended / total_weight, 4),
+    }
+
 
 def check_aliasing(
     benchmarks: Optional[Sequence[str]] = None,
     schemes: Optional[Sequence[str]] = None,
     size_bits: Optional[Sequence[int]] = None,
     seed: int = 0,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
 ) -> List[Finding]:
     """The full aliasing pass: predicted pressure per sweep point.
 
     For every benchmark program and scheme, walks the tier grid and
     reports the worst split per tier. Pure partition arithmetic — no
-    branch is ever simulated.
+    branch is ever simulated. Passing ``bht_entries`` additionally
+    folds first-level set contention into the PA-family findings: one
+    ``alias.first-level`` finding per (benchmark, scheme) — the set
+    geometry is tier-independent — and the contention stats attached
+    to every per-tier finding's data.
     """
     from repro.sim.sweep import SWEEPABLE_SCHEMES, spec_for_point
     from repro.workloads.profiles import FOCUS_BENCHMARKS, get_profile
@@ -220,6 +258,45 @@ def check_aliasing(
         # each width once and share it across schemes and tiers.
         pressure_by_col_bits: Dict[int, AliasPressure] = {}
         for scheme in schemes:
+            first_level: Optional[Dict[str, object]] = None
+            if bht_entries is not None and scheme in PER_ADDRESS_SCHEMES:
+                # Set placement depends only on the first-level
+                # geometry, never on the tier split; one probe spec
+                # covers the whole grid.
+                probe = spec_for_point(
+                    scheme,
+                    col_bits=0,
+                    row_bits=1,
+                    bht_entries=bht_entries,
+                    bht_assoc=bht_assoc,
+                )
+                first_level = _first_level_pressure(probe, infos)
+                share = float(
+                    first_level["contended_weight_share"]  # type: ignore[arg-type]
+                )
+                findings.append(
+                    Finding(
+                        check="alias.first-level",
+                        severity=(
+                            "warning"
+                            if share > OVERSUBSCRIBED_SHARE_WARNING
+                            else "info"
+                        ),
+                        why=(
+                            f"{benchmark}: "
+                            f"{first_level['oversubscribed_sets']} of "
+                            f"{first_level['shared_sets']} shared "
+                            f"first-level sets hold more branches than "
+                            f"the {bht_assoc}-way associativity "
+                            f"(largest {first_level['largest_set']}); "
+                            f"{share:.0%} of dynamic weight keeps "
+                            "losing its history slot"
+                        ),
+                        scheme=scheme,
+                        point=f"bht={bht_entries}x{bht_assoc}",
+                        data={"benchmark": benchmark, **first_level},
+                    )
+                )
             for n in grid:
                 worst: Optional[AliasPressure] = None
                 best: Optional[AliasPressure] = None
@@ -252,6 +329,21 @@ def check_aliasing(
                     if best.harmful_weight_share > HARMFUL_SHARE_WARNING
                     else "info"
                 )
+                data: Dict[str, object] = {
+                    "benchmark": benchmark,
+                    "aliased_fraction": round(
+                        worst.aliased_fraction, 4
+                    ),
+                    "harmful_weight_share": round(
+                        worst.harmful_weight_share, 4
+                    ),
+                    "best_point": best_point,
+                    "best_harmful_weight_share": round(
+                        best.harmful_weight_share, 4
+                    ),
+                }
+                if first_level is not None:
+                    data["first_level"] = first_level
                 findings.append(
                     Finding(
                         check="alias.pressure",
@@ -269,19 +361,7 @@ def check_aliasing(
                         ),
                         scheme=scheme,
                         point=worst_point,
-                        data={
-                            "benchmark": benchmark,
-                            "aliased_fraction": round(
-                                worst.aliased_fraction, 4
-                            ),
-                            "harmful_weight_share": round(
-                                worst.harmful_weight_share, 4
-                            ),
-                            "best_point": best_point,
-                            "best_harmful_weight_share": round(
-                                best.harmful_weight_share, 4
-                            ),
-                        },
+                        data=data,
                     )
                 )
     return findings

@@ -106,9 +106,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "check_pass",
         nargs="?",
         default="all",
-        choices=("configs", "aliasing", "code", "all"),
+        choices=("configs", "aliasing", "code", "dealias", "all"),
         metavar="pass",
-        help="which pass to run: configs, aliasing, code, or all (default)",
+        help="which pass to run: configs, aliasing, code, dealias, or "
+        "all (default; dealias is opt-in and never part of all)",
     )
     check.add_argument(
         "--json",
@@ -166,6 +167,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="tier exponents (2^N counters) for configs/aliasing passes",
     )
     check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--fix",
+        action="store_true",
+        help="configs pass: attach the nearest sound (c, r) split to "
+        "budget-mismatch findings",
+    )
+    check.add_argument(
+        "--validate",
+        action="store_true",
+        help="dealias pass: simulate the Figure-9 micro workloads and "
+        "assert the static estimate ranks splits as the engine does",
+    )
+    check.add_argument(
+        "--micro",
+        action="append",
+        dest="micros",
+        metavar="NAME",
+        help="dealias --validate: micro workload to validate against "
+        "(repeatable; default: all built-in validation micros)",
+    )
+    check.add_argument(
+        "--bht-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="first-level table entries for the aliasing/dealias "
+        "passes (PA/set families; default: perfect histories)",
+    )
+    check.add_argument(
+        "--bht-assoc",
+        type=int,
+        default=4,
+        metavar="W",
+        help="first-level associativity for the aliasing/dealias passes",
+    )
     _add_obs_options(check)
 
     characterize = sub.add_parser(
@@ -393,6 +429,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             schemes=args.schemes,
             size_bits=tuple(args.sizes) if args.sizes else None,
             seed=args.seed,
+            fix=args.fix,
+            validate=args.validate,
+            micros=args.micros,
+            bht_entries=args.bht_entries,
+            bht_assoc=args.bht_assoc,
         )
         print(render(report, as_json=args.json, strict=args.strict))
         return report.exit_code(args.strict)

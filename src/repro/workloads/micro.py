@@ -135,6 +135,50 @@ def pattern_trace(
     )
 
 
+def interference_field_trace(
+    branches: int = 16,
+    length: int = 24000,
+    taken_fraction: float = 0.5,
+    taken_probability: float = 0.98,
+    seed: int = 0,
+    base_pc: int = 0x1000,
+    name: str = "micro-interference-field",
+) -> BranchTrace:
+    """A field of steady branches with mixed directions, randomly
+    interleaved: the dealiasing-estimator validation workload.
+
+    Branch ``i`` sits at consecutive word addresses (``base_pc + 4*i``)
+    so column splits peel the field apart predictably; a seeded random
+    subset of ``round(branches * taken_fraction)`` branches is steadily
+    taken (rate ``taken_probability``), the rest steadily not-taken
+    (rate ``1 - taken_probability``). Accesses draw branches uniformly
+    at random, which is what makes shared counters see well-mixed
+    streams — the regime the analytic estimator models.
+    """
+    if branches < 2 or length < branches:
+        raise WorkloadError("need branches >= 2 and length >= branches")
+    if not 0.0 <= taken_fraction <= 1.0:
+        raise WorkloadError("taken_fraction must be within [0, 1]")
+    if not 0.5 <= taken_probability <= 1.0:
+        raise WorkloadError("taken_probability must be within [0.5, 1]")
+    rng = make_rng(seed, "micro-interference-field")
+    num_taken = int(round(branches * taken_fraction))
+    steady_taken = np.zeros(branches, dtype=bool)
+    steady_taken[rng.permutation(branches)[:num_taken]] = True
+    which = rng.integers(0, branches, size=length)
+    pc = (base_pc + 4 * which).astype(np.uint64)
+    p_taken = np.where(
+        steady_taken[which], taken_probability, 1.0 - taken_probability
+    )
+    taken = rng.random(length) < p_taken
+    return BranchTrace(
+        pc=pc,
+        taken=taken,
+        target=pc + np.uint64(48),
+        name=name,
+    )
+
+
 def biased_field_trace(
     branches: int,
     executions_each: int,

@@ -150,6 +150,39 @@ class TestCheckAliasingPass:
         with pytest.raises(CheckError):
             check_aliasing(schemes=("agree",))
 
+    def test_oversubscribed_first_level_adds_finding(self):
+        # 64 entries, 4-way: 16 sets for espresso's ~1.8k static
+        # branches — every set far beyond its ways.
+        findings = check_aliasing(
+            benchmarks=("espresso",),
+            schemes=("pas",),
+            size_bits=(8,),
+            bht_entries=64,
+            bht_assoc=4,
+        )
+        (first_level,) = [
+            f for f in findings if f.check == "alias.first-level"
+        ]
+        assert first_level.severity == "warning"
+        assert first_level.data["oversubscribed_sets"] > 0
+        assert first_level.data["contended_weight_share"] > 0.25
+        # The contention stats also ride on the per-tier findings.
+        (pressure,) = [
+            f for f in findings if f.check == "alias.pressure"
+        ]
+        assert pressure.data["first_level"]["bht_entries"] == 64
+
+    def test_first_level_needs_a_pa_family_scheme(self):
+        findings = check_aliasing(
+            benchmarks=("espresso",),
+            schemes=("gshare",),
+            size_bits=(8,),
+            bht_entries=64,
+            bht_assoc=4,
+        )
+        assert [f.check for f in findings] == ["alias.pressure"]
+        assert "first_level" not in findings[0].data
+
     def test_program_extraction_covers_all_static_branches(self):
         profile = get_profile("espresso")
         program = build_program(profile, seed=0)

@@ -9,6 +9,7 @@ from repro.check import (
     Finding,
     canonical_specs,
     check_configs,
+    nearest_sound_split,
     verify_spec,
     verify_spec_dict,
     verify_sweep_plan,
@@ -39,6 +40,61 @@ class TestVerifySpec:
         spec = PredictorSpec(scheme="gshare", rows=4, cols=4)
         findings = verify_spec(spec, budget_bits=5)
         assert [f.check for f in errors_of(findings)] == ["config.budget"]
+        assert "suggested_split" not in findings[-1].data
+
+
+class TestNearestSoundSplit:
+    def test_fix_attaches_nearest_split(self):
+        # 2^2 x 2^2 against a 2^5 budget: the closest sound split
+        # keeps the column width and grows the rows.
+        spec = PredictorSpec(scheme="gshare", rows=4, cols=4)
+        findings = verify_spec(spec, budget_bits=5, fix=True)
+        (budget,) = [f for f in findings if f.check == "config.budget"]
+        assert budget.data["suggested_split"] == {
+            "cols": 4,
+            "rows": 8,
+            "point": "c=2 r=3",
+        }
+        assert "2^2x2^3" in budget.why
+
+    def test_suggestion_prefers_column_distance(self):
+        spec = PredictorSpec(scheme="gas", rows=2, cols=16)
+        suggestion = nearest_sound_split(spec, 6)
+        assert (suggestion.cols, suggestion.rows) == (16, 4)
+
+    def test_matching_budget_needs_no_suggestion(self):
+        spec = PredictorSpec(scheme="gshare", rows=8, cols=4)
+        assert verify_spec(spec, budget_bits=5, fix=True) == []
+
+    def test_fix_flows_through_spec_dicts(self):
+        findings = verify_spec_dict(
+            {"scheme": "gshare", "rows": 4, "cols": 4, "budget_bits": 5},
+            origin="spec[0]",
+            fix=True,
+        )
+        (budget,) = errors_of(findings)
+        assert budget.check == "config.budget"
+        assert budget.data["suggested_split"]["point"] == "c=2 r=3"
+
+    def test_check_configs_threads_fix(self):
+        findings = check_configs(
+            spec_dicts=[
+                {"scheme": "gshare", "rows": 4, "cols": 4, "budget_bits": 5}
+            ],
+            schemes=("gshare",),
+            size_bits=(4,),
+            fix=True,
+        )
+        budget = [f for f in findings if f.check == "config.budget"]
+        assert len(budget) == 1
+        assert "suggested_split" in budget[0].data
+
+    def test_non_integer_budget_bits_is_a_contract_finding(self):
+        findings = verify_spec_dict(
+            {"scheme": "gshare", "rows": 4, "cols": 4, "budget_bits": "5"},
+            origin="spec[0]",
+        )
+        assert [f.check for f in findings] == ["config.contract"]
 
     def test_indivisible_first_level_is_an_error(self):
         # validate() accepts this spec, but bht_miss_stream would raise

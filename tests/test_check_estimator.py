@@ -1,0 +1,334 @@
+"""Static dealiasing-benefit estimator: model pieces and validation.
+
+The estimator's contract has two halves, tested at two speeds:
+
+* the analytic building blocks (counter stationary misprediction,
+  row-occupancy distributions, class deltas) have closed-form expected
+  values checked exactly here;
+* the end-to-end claim — static predictions rank a tier's splits as
+  the real engine does — is asserted by ``validate_dealias`` against
+  simulated Figure-9 surfaces (one cell here; the full grid runs in
+  CI via ``repro check dealias --validate``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.aliasing import (
+    branch_weights_from_program,
+    branch_weights_from_trace,
+    dealias_delta,
+    interference_free_predictions,
+    stream_taken_rate,
+)
+from repro.check import (
+    SplitDelta,
+    check_dealias,
+    predict_dealias_delta,
+    predicted_split_deltas,
+    validate_dealias,
+)
+from repro.check.estimator import ABS_ERROR_BOUND, TIE_EPSILON
+from repro.cli import main
+from repro.errors import CheckError, ConfigurationError, TraceError
+from repro.predictors.specs import (
+    PredictorSpec,
+    counter_stationary_misprediction,
+    counter_stationary_misprediction_array,
+    history_row_distribution,
+    xor_permuted_distribution,
+)
+from repro.workloads.micro import (
+    biased_field_trace,
+    interference_field_trace,
+)
+from repro.workloads.profiles import get_profile
+from repro.workloads.program import build_program
+
+
+class TestCounterStationaryMisprediction:
+    def test_pure_branches_never_mispredict(self):
+        assert counter_stationary_misprediction(0.0) == 0.0
+        assert counter_stationary_misprediction(1.0) == 0.0
+
+    def test_coin_flip_is_half(self):
+        assert counter_stationary_misprediction(0.5) == pytest.approx(0.5)
+
+    def test_symmetric_in_direction(self):
+        for rate in (0.02, 0.25, 0.4):
+            assert counter_stationary_misprediction(
+                rate
+            ) == pytest.approx(counter_stationary_misprediction(1 - rate))
+
+    def test_known_value_for_steady_branch(self):
+        # p=0.98, 2-bit counter: pi ~ r^s with r=1/49; the chain sits
+        # in the top state and mispredicts barely above 2%.
+        rate = counter_stationary_misprediction(0.98)
+        assert 0.02 < rate < 0.021
+
+    def test_exceeds_minority_rate(self):
+        # The counter keeps re-crossing the threshold, so it always
+        # loses slightly more than an oracle static predictor.
+        for p in (0.1, 0.3, 0.45):
+            assert counter_stationary_misprediction(p) > p
+
+    def test_array_matches_scalar(self):
+        rates = np.array([0.0, 0.1, 0.5, 0.9, 1.0])
+        vectorized = counter_stationary_misprediction_array(rates)
+        assert vectorized == pytest.approx(
+            [counter_stationary_misprediction(float(p)) for p in rates]
+        )
+
+    def test_rejects_rates_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            counter_stationary_misprediction(1.5)
+
+
+class TestRowDistributions:
+    def test_is_a_distribution(self):
+        for q in (0.0, 0.3, 0.5, 1.0):
+            dist = history_row_distribution(4, q)
+            assert dist.shape == (16,)
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_balanced_stream_is_uniform(self):
+        assert history_row_distribution(3, 0.5) == pytest.approx(
+            np.full(8, 1 / 8)
+        )
+
+    def test_pure_taken_concentrates_on_all_ones(self):
+        dist = history_row_distribution(3, 1.0)
+        assert dist[0b111] == 1.0
+
+    def test_xor_permutation_relabels_rows(self):
+        dist = history_row_distribution(3, 0.9)
+        permuted = xor_permuted_distribution(dist, 0b101)
+        assert permuted.sum() == pytest.approx(1.0)
+        assert permuted[0b010] == dist[0b111]
+
+    def test_xor_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            xor_permuted_distribution(np.array([0.5, 0.3, 0.2]), 1)
+
+
+class TestBranchWeights:
+    def test_from_trace_recovers_the_field(self):
+        trace = interference_field_trace(branches=16, length=24000)
+        weights = branch_weights_from_trace(trace)
+        assert len(weights) == 16
+        assert sum(w.weight for w in weights) == pytest.approx(1.0)
+        # Hottest-first ordering.
+        assert all(
+            a.weight >= b.weight for a, b in zip(weights, weights[1:])
+        )
+        # Mixed field: the blended stream sits near a fair coin.
+        assert stream_taken_rate(weights) == pytest.approx(0.5, abs=0.05)
+
+    def test_from_program_is_normalized(self):
+        program = build_program(get_profile("espresso"), seed=0)
+        weights = branch_weights_from_program(program)
+        assert sum(w.weight for w in weights) == pytest.approx(1.0)
+        assert all(0.0 <= w.taken_rate <= 1.0 for w in weights)
+
+    def test_empty_trace_raises(self):
+        trace = interference_field_trace(length=100).slice(0, 0)
+        with pytest.raises(TraceError):
+            branch_weights_from_trace(trace)
+
+
+class TestSimulatedDealiasDelta:
+    def test_private_tables_change_aliased_predictions(self):
+        trace = interference_field_trace(branches=16, length=4000)
+        spec = PredictorSpec(scheme="bimodal", cols=4)  # 4x oversubscribed
+        shared_differs = interference_free_predictions(spec, trace)
+        assert dealias_delta(spec, trace) > 0.1
+        assert shared_differs.shape == (len(trace),)
+
+    def test_singleton_classes_have_zero_delta(self):
+        # Every branch in its own column: private tables are identical
+        # to the shared one, access for access.
+        trace = biased_field_trace(branches=8, executions_each=100)
+        spec = PredictorSpec(scheme="bimodal", cols=8)
+        assert dealias_delta(spec, trace) == 0.0
+
+
+class TestPredictDealiasDelta:
+    def pair(self, rate_a, rate_b):
+        from repro.aliasing.weights import BranchWeight
+
+        return [
+            BranchWeight(pc=0x1000, weight=0.5, taken_rate=rate_a),
+            BranchWeight(pc=0x1000 + 4, weight=0.5, taken_rate=rate_b),
+        ]
+
+    def test_same_direction_class_is_free(self):
+        # The paper's harmless collision: both steady taken.
+        spec = PredictorSpec(scheme="bimodal", cols=1)
+        split = predict_dealias_delta(spec, self.pair(0.98, 0.98))
+        assert split.predicted_delta == pytest.approx(0.0, abs=1e-12)
+        assert split.alias_classes == 1
+        assert split.harmful_classes == 0
+
+    def test_opposite_directions_cost_the_blend(self):
+        # 50/50 mix of opposite steady branches blends to a fair coin:
+        # the shared counter loses M(0.5) - M(0.98) over private ones.
+        spec = PredictorSpec(scheme="bimodal", cols=1)
+        split = predict_dealias_delta(spec, self.pair(0.98, 0.02))
+        expected = 0.5 - counter_stationary_misprediction(0.98)
+        assert split.predicted_delta == pytest.approx(expected)
+        assert split.harmful_classes == 1
+
+    def test_separate_columns_are_free(self):
+        spec = PredictorSpec(scheme="bimodal", cols=2)
+        split = predict_dealias_delta(spec, self.pair(0.98, 0.02))
+        assert split.predicted_delta == 0.0
+        assert split.alias_classes == 0
+
+    def test_gshare_rows_dilute_the_conflict(self):
+        # A skewed stream makes the history occupancy non-uniform, and
+        # the per-branch xor permutations misalign the peaks: per-row
+        # blends are less even than the flat blend, so rows recover
+        # part of the conflict cost.
+        from repro.aliasing.weights import BranchWeight
+
+        weights = [
+            BranchWeight(pc=0x1000, weight=0.75, taken_rate=0.98),
+            BranchWeight(pc=0x1004, weight=0.25, taken_rate=0.02),
+        ]
+        flat = predict_dealias_delta(
+            PredictorSpec(scheme="bimodal", cols=1), weights
+        )
+        spread = predict_dealias_delta(
+            PredictorSpec(scheme="gshare", rows=8, cols=1), weights
+        )
+        assert 0.0 < spread.predicted_delta < flat.predicted_delta
+
+    def test_per_address_rows_separate_opposite_pure_branches(self):
+        # PAs: each branch's register concentrates on its own pattern,
+        # so opposite near-pure branches barely share rows.
+        split = predict_dealias_delta(
+            PredictorSpec(scheme="pas", rows=8, cols=1),
+            self.pair(0.98, 0.02),
+        )
+        assert split.predicted_delta < 0.01
+
+    def test_finite_bht_pollution_restores_conflict(self):
+        # With an oversubscribed first level, polluted registers pile
+        # both branches onto the reset row: conflict comes back.
+        clean = predict_dealias_delta(
+            PredictorSpec(scheme="pas", rows=8, cols=1),
+            self.pair(0.98, 0.02),
+        )
+        extra = [
+            w
+            for i in range(8)
+            for w in (
+                self.pair(0.98, 0.02)[0].__class__(
+                    pc=0x1000 + 4 * (2 + i), weight=1e-9, taken_rate=0.5
+                ),
+            )
+        ]
+        polluted = predict_dealias_delta(
+            PredictorSpec(
+                scheme="pas", rows=8, cols=1, bht_entries=4, bht_assoc=1
+            ),
+            self.pair(0.98, 0.02) + extra,
+        )
+        assert polluted.predicted_delta > clean.predicted_delta
+
+    def test_schemes_without_shared_tables_are_rejected(self):
+        spec = PredictorSpec(scheme="static")
+        with pytest.raises(CheckError):
+            predict_dealias_delta(spec, self.pair(0.9, 0.1))
+
+    def test_empty_population_is_rejected(self):
+        with pytest.raises(CheckError):
+            predict_dealias_delta(
+                PredictorSpec(scheme="bimodal", cols=1), []
+            )
+
+
+class TestPredictedSplitDeltas:
+    def test_covers_the_whole_tier(self):
+        trace = interference_field_trace(branches=16, length=8000)
+        weights = branch_weights_from_trace(trace)
+        splits = predicted_split_deltas("gshare", weights, 6)
+        assert len(splits) == 7
+        assert [s.row_bits for s in splits] == list(range(7))
+        assert all(isinstance(s, SplitDelta) for s in splits)
+        # Enough columns for the field: nothing left to dealias.
+        assert splits[0].predicted_delta == 0.0
+        # One column: everything shares, the cost is large.
+        assert splits[-1].predicted_delta > 0.1
+
+    def test_rejects_unsweepable_scheme(self):
+        trace = interference_field_trace(length=1000)
+        weights = branch_weights_from_trace(trace)
+        with pytest.raises(CheckError):
+            predicted_split_deltas("agree", weights, 6)
+
+
+class TestCheckDealiasPass:
+    def test_one_finding_per_cell_with_delta_surface(self):
+        findings = check_dealias(
+            benchmarks=("espresso",),
+            schemes=("gshare", "pas"),
+            size_bits=(8,),
+        )
+        assert [f.check for f in findings] == ["dealias.benefit"] * 2
+        for finding in findings:
+            assert len(finding.data["deltas"]) == 9
+            assert finding.data["worst_delta"] >= finding.data["best_delta"]
+
+    def test_small_global_tables_warn(self):
+        (finding,) = check_dealias(
+            benchmarks=("espresso",), schemes=("gshare",), size_bits=(8,)
+        )
+        # The paper's regime: a large workload on 256 counters cannot
+        # be dealiased by any (c, r) choice.
+        assert finding.severity == "warning"
+
+
+class TestValidation:
+    def test_one_cell_agrees_with_the_engine(self):
+        (finding,) = validate_dealias(
+            micros=("mixed-field",), schemes=("gshare",)
+        )
+        assert finding.check == "dealias.validation"
+        assert finding.severity == "info", finding.why
+        assert finding.data["discordant_pairs"] == 0
+        assert finding.data["max_abs_error"] <= ABS_ERROR_BOUND
+        assert finding.data["tie_epsilon"] == TIE_EPSILON
+
+    def test_unknown_micro_is_rejected(self):
+        with pytest.raises(CheckError):
+            validate_dealias(micros=("no-such-field",))
+
+
+class TestDealiasCli:
+    def test_static_pass_exits_clean(self, capsys):
+        code = main(
+            [
+                "check", "dealias",
+                "--benchmark", "espresso", "--sizes", "8",
+            ]
+        )
+        assert code == 0
+        assert "dealias.benefit" in capsys.readouterr().out
+
+    def test_validate_flag_runs_the_harness(self, capsys):
+        code = main(
+            [
+                "check", "dealias", "--validate",
+                "--micro", "skewed-field", "--scheme", "pas",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dealias.validation" in out
+        assert "matches simulation" in out
+
+    def test_dealias_is_not_part_of_all(self, capsys):
+        assert main(["check", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "dealias" not in out

@@ -95,6 +95,66 @@ class TestHotLoop:
         assert findings == []
 
 
+class TestHotLoopProvenance:
+    """Hot for-loops pass on trip-count provenance, not file trivia."""
+
+    def test_range_over_register_width_names_is_fine(self):
+        assert (
+            lint(
+                "def f(bits, slots):\n"
+                "    for age in range(1, bits + 1):\n"
+                "        pass\n"
+                "    for i in range(slots):\n"
+                "        pass\n"
+                "    for s in range(1 << counter_bits):\n"
+                "        pass\n",
+                is_hot=True,
+            )
+            == []
+        )
+
+    def test_range_over_spec_attributes_is_fine(self):
+        assert (
+            lint(
+                "def f(spec):\n"
+                "    for bit in range(spec.counter_bits):\n"
+                "        pass\n",
+                is_hot=True,
+            )
+            == []
+        )
+
+    def test_literal_tuple_iteration_is_fine(self):
+        assert (
+            lint(
+                "def f(base, skew1, skew2):\n"
+                "    for bank in (base, skew1, skew2):\n"
+                "        pass\n",
+                is_hot=True,
+            )
+            == []
+        )
+
+    def test_range_over_arbitrary_name_is_flagged(self):
+        findings = lint(
+            "def f(n):\n    for i in range(n):\n        pass\n",
+            is_hot=True,
+        )
+        assert checks(findings) == ["code.hot-loop"]
+
+    def test_iterating_an_array_is_flagged(self):
+        findings = lint(
+            "def f(indices):\n    for i in indices:\n        pass\n",
+            is_hot=True,
+        )
+        assert checks(findings) == ["code.hot-loop"]
+
+    def test_cold_files_stay_unconstrained(self):
+        assert (
+            lint("def f(n):\n    for i in range(n):\n        pass\n") == []
+        )
+
+
 class TestHotTime:
     def test_flagged_in_hot_file(self):
         findings = lint(
