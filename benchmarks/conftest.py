@@ -98,6 +98,13 @@ def scaled_options(**overrides) -> ExperimentOptions:
 
 
 @pytest.fixture
+def bench_record():
+    """The perf-trajectory upsert helper, for benches that time more
+    than one configuration (e.g. serial vs parallel) per run."""
+    return emit_bench_record
+
+
+@pytest.fixture
 def regenerate(benchmark):
     """Run one experiment once under the benchmark timer, print it, and
     record its throughput in the perf trajectory."""

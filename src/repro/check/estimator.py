@@ -351,8 +351,58 @@ def predicted_split_deltas(
     return splits
 
 
+def _materialize_micro(
+    name: str, factory: Callable[[], BranchTrace]
+) -> BranchTrace:
+    """The validation micro trace, via the trace store when one is set.
+
+    Keyed by micro name and :data:`VALIDATION_TRACE_LENGTH` so repeated
+    ``check dealias --validate`` runs load the materialized trace
+    instead of regenerating it (``store.hits``/``store.misses`` count
+    the difference).
+    """
+    from repro.workloads.store import TraceStore
+
+    store = TraceStore.from_env()
+    if store is None:
+        return factory()
+    return store.get_or_create(
+        f"micro-{name}-L{VALIDATION_TRACE_LENGTH}", factory
+    )
+
+
 def _supports_bht(scheme: str) -> bool:
     return scheme in PER_ADDRESS_SCHEMES or scheme in SET_SCHEMES
+
+
+def smallest_sufficient_budget(
+    scheme: str,
+    weights: Sequence[BranchWeight],
+    start_bits: int,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    max_bits: int = 20,
+) -> Optional[int]:
+    """Smallest tier exponent predicted to dealias the workload.
+
+    Scans budgets upward from ``start_bits`` and returns the first
+    ``n`` whose *best* (c, r) split has a predicted residual delta at
+    or below :data:`DEALIAS_WARNING_DELTA` — i.e. the smallest budget
+    at which ``check dealias`` would no longer warn. ``None`` when no
+    budget up to ``max_bits`` suffices.
+    """
+    for n in range(start_bits, max_bits + 1):
+        splits = predicted_split_deltas(
+            scheme,
+            weights,
+            n,
+            bht_entries=bht_entries,
+            bht_assoc=bht_assoc,
+        )
+        best = min(splits, key=lambda s: s.predicted_delta)
+        if best.predicted_delta <= DEALIAS_WARNING_DELTA:
+            return n
+    return None
 
 
 def check_dealias(
@@ -483,7 +533,7 @@ def validate_dealias(
                 f"unknown validation micro {name!r}; choose from "
                 f"{tuple(available)}"
             )
-        trace = factory()
+        trace = _materialize_micro(name, factory)
         weights = branch_weights_from_trace(trace)
         for scheme in schemes:
             entries = bht_entries if _supports_bht(scheme) else None

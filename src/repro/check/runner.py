@@ -66,6 +66,7 @@ def run_checks(
             seed=seed,
             bht_entries=bht_entries,
             bht_assoc=bht_assoc,
+            fix=fix,
         ),
         "code": lambda: lint_paths(
             paths=paths,

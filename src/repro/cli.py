@@ -93,6 +93,38 @@ def _build_parser() -> argparse.ArgumentParser:
             "the first point simulates (--no-precheck skips the guard)"
         ),
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "shard sweep points across N worker processes coordinated "
+            "through the checkpoint journal; results are identical to "
+            "a serial run (default: 1, serial)"
+        ),
+    )
+    run.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "points per worker shard for --workers (default: sized so "
+            "each worker gets several shards)"
+        ),
+    )
+    run.add_argument(
+        "--plan-from-estimate",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help=(
+            "skip sweep points whose statically predicted dealiasing "
+            "delta (see `repro check dealias`) is below DELTA; the "
+            "pruned count is logged"
+        ),
+    )
 
     check = sub.add_parser(
         "check",
@@ -171,7 +203,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fix",
         action="store_true",
         help="configs pass: attach the nearest sound (c, r) split to "
-        "budget-mismatch findings",
+        "budget-mismatch findings; aliasing pass: attach the smallest "
+        "budget whose predicted residual clears the warning threshold",
     )
     check.add_argument(
         "--validate",
@@ -410,6 +443,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             paranoid=args.paranoid,
             on_point=on_point,
             precheck=args.precheck,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            plan_from_estimate=args.plan_from_estimate,
         )
         result = run_experiment(args.experiment, options)
         result.show()

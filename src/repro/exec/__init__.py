@@ -1,0 +1,27 @@
+"""Parallel sweep execution: sharded workers over the checkpoint journal.
+
+The paper's constant-size tiers are embarrassingly parallel — every
+``(c, r)`` split simulates independently — so this package shards a
+sweep's pending points across a pool of worker processes:
+
+* :mod:`repro.exec.parallel` -- the parent-side orchestrator
+  (:func:`~repro.exec.parallel.run_parallel_sweep`) that
+  ``sweep_tiers(..., workers=N)`` delegates to;
+* :mod:`repro.exec.worker`   -- the worker process body: claim shards,
+  simulate with retry-backoff, journal every point atomically;
+* :mod:`repro.exec.leases`   -- crash-safe shard claiming by exclusive
+  lease files (dead owners' leases are reclaimed);
+* :mod:`repro.exec.merge`    -- join-time folding of worker journals
+  into the master and worker telemetry into ``run_metrics.json``.
+
+Coordination rides entirely on the existing checkpoint journal format
+and sweep keys — parallel and serial runs of the same sweep share one
+resume key, and parallel results are exactly the serial results (same
+engine, same trace bytes via the trace store, deduplicated by journal
+point key).
+"""
+
+from repro.exec.parallel import run_parallel_sweep
+from repro.exec.worker import WorkerPlan, worker_main
+
+__all__ = ["run_parallel_sweep", "WorkerPlan", "worker_main"]

@@ -1,0 +1,126 @@
+"""Shard leases: crash-safe work claiming for the parallel executor.
+
+A *lease* is one small JSON file per shard in the executor's scratch
+directory. Workers race to claim shards by exclusive file creation
+(``O_CREAT | O_EXCL`` — atomic on POSIX), so exactly one live worker
+owns a shard at a time. A lease names its owner pid; when that process
+dies mid-shard the lease goes *stale* and any other worker may reclaim
+it by atomically rewriting the file. Reclaiming re-runs only the
+points the dead owner had not yet journaled — results are deduplicated
+by the checkpoint journal, so the lease layer provides at-least-once
+execution and the journal upgrades it to exactly-once results.
+
+Lease files are coordination state, not results: they live and die
+with the scratch directory and are never needed to resume a sweep (the
+journal is).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import counter
+from repro.runtime.checkpoint import atomic_write_text
+
+#: A claimed lease older than this with a live owner is still honored;
+#: the TTL only breaks ties for owners whose liveness cannot be probed
+#: (pid recycled, cross-container). Dead-pid leases go stale instantly.
+DEFAULT_LEASE_TTL_S = 600.0
+
+_STATUS_CLAIMED = "claimed"
+_STATUS_DONE = "done"
+
+
+def lease_path(directory: str, shard_id: int) -> str:
+    return os.path.join(directory, f"shard-{shard_id:04d}.lease")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # Permission or platform quirk: assume alive, let the TTL rule.
+        return True
+    return True
+
+
+def read_lease(directory: str, shard_id: int) -> Optional[Dict[str, Any]]:
+    """The lease payload, or None when absent/corrupt (= claimable)."""
+    try:
+        with open(lease_path(directory, shard_id), "r", encoding="ascii") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def _payload(status: str) -> str:
+    return (
+        json.dumps(
+            {
+                "pid": os.getpid(),
+                "status": status,
+                "claimed_at": time.time(),
+            },
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def is_stale(lease: Optional[Dict[str, Any]], ttl_s: float = DEFAULT_LEASE_TTL_S) -> bool:
+    """Whether a lease no longer protects its shard."""
+    if lease is None:
+        return True  # corrupt or unreadable: treat as claimable
+    if lease.get("status") == _STATUS_DONE:
+        return False  # finished shards are never re-claimed
+    pid = lease.get("pid")
+    if isinstance(pid, int) and not _pid_alive(pid):
+        return True
+    claimed_at = lease.get("claimed_at")
+    if not isinstance(claimed_at, (int, float)):
+        return True
+    return (time.time() - claimed_at) > ttl_s
+
+
+def try_claim(
+    directory: str, shard_id: int, ttl_s: float = DEFAULT_LEASE_TTL_S
+) -> bool:
+    """Claim the shard for this process; False when someone owns it.
+
+    First claims use exclusive creation so two live workers can never
+    both win. Stale leases (dead owner) are reclaimed by atomic
+    rewrite — the last rewriter wins, which is safe because duplicate
+    shard execution only wastes time, never corrupts results (the
+    journal deduplicates points).
+    """
+    path = lease_path(directory, shard_id)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        existing = read_lease(directory, shard_id)
+        if not is_stale(existing, ttl_s):
+            return False
+        counter("exec.leases_reclaimed").inc()
+        atomic_write_text(path, _payload(_STATUS_CLAIMED))
+        return True
+    except OSError:
+        return False  # unwritable scratch dir: let another worker try
+    with os.fdopen(fd, "w", encoding="ascii") as handle:
+        handle.write(_payload(_STATUS_CLAIMED))
+    counter("exec.shards_claimed").inc()
+    return True
+
+
+def mark_done(directory: str, shard_id: int) -> None:
+    """Record shard completion so the lease is never reclaimed."""
+    atomic_write_text(
+        lease_path(directory, shard_id), _payload(_STATUS_DONE)
+    )

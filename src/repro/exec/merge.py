@@ -1,0 +1,133 @@
+"""Join-time merging of worker journals and worker telemetry.
+
+Workers never write the master journal — concurrent rewrites of one
+file would race even with atomic renames (last writer wins and drops
+the others' points). Instead each worker appends to its own journal
+under the same sweep key, and the parent folds those into the master:
+
+* :func:`merge_worker_journals` deduplicates by ``(n, row_bits)`` and
+  appends anything new to the master journal in one flush;
+* :func:`load_worker_points` is the tolerant read the parent's poll
+  loop uses for live progress (a corrupt or torn worker journal reads
+  as empty rather than failing the sweep — its points simply get
+  recomputed);
+* :func:`absorb_worker_reports` folds every worker's saved metrics
+  snapshot (counters, histograms, span aggregates) into the parent's
+  global registry and tracer, so one ``run_metrics.json`` describes
+  the whole parallel run.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.errors import CheckpointError
+from repro.sim.results import TierPoint
+
+
+def _worker_journal_paths(scratch_dir: str) -> List[str]:
+    return sorted(glob.glob(os.path.join(scratch_dir, "worker-*.journal")))
+
+
+def load_worker_points(
+    scratch_dir: str, key: str
+) -> Dict[Tuple[int, int], Tuple[int, TierPoint]]:
+    """All points in all worker journals, keyed by ``(n, row_bits)``.
+
+    Tolerant by design: journals are written by atomic rename, so a
+    reader sees complete files, but an injected corruption fault (or a
+    hostile filesystem) can still produce an unloadable journal — that
+    journal contributes nothing and its points are recomputed.
+    """
+    from repro.runtime.checkpoint import _load_points
+
+    points: Dict[Tuple[int, int], Tuple[int, TierPoint]] = {}
+    for path in _worker_journal_paths(scratch_dir):
+        try:
+            loaded = _load_points(path, key)
+        except CheckpointError:
+            continue
+        for n, point in loaded:
+            points.setdefault((n, point.row_bits), (n, point))
+    return points
+
+
+def merge_worker_journals(master, scratch_dir: str) -> List[Tuple[int, TierPoint]]:
+    """Fold every worker journal into ``master``; returns new points.
+
+    Points the master already holds (restored, serially computed, or
+    merged in an earlier round) are skipped, so duplicate shard
+    execution after a lease reclaim costs time but never duplicate
+    journal entries. The master is flushed once at the end.
+    """
+    have = master.completed()
+    added: List[Tuple[int, TierPoint]] = []
+    for (n, row_bits), (_, point) in sorted(
+        load_worker_points(scratch_dir, master.key).items()
+    ):
+        if (n, row_bits) in have:
+            continue
+        have.add((n, row_bits))
+        master.append(n, point, flush=False)
+        added.append((n, point))
+    master.flush()
+    return added
+
+
+def clear_worker_artifacts(scratch_dir: str) -> None:
+    """Delete worker journals and leases after they have been merged.
+
+    Run between rounds so a respawned round starts with fresh leases
+    (a ``done`` lease from round 1 must not block a same-numbered shard
+    of round 2) and so stale journals are never double-merged.
+    """
+    patterns = ("worker-*.journal", "shard-*.lease")
+    for pattern in patterns:
+        for path in glob.glob(os.path.join(scratch_dir, pattern)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+
+def absorb_worker_reports(scratch_dir: str) -> int:
+    """Merge saved per-worker metrics files into this process's
+    registry and tracer; returns how many reports were absorbed.
+
+    Counter values add, histograms merge their streaming summaries,
+    and span aggregates fold per-name — nothing is double-counted
+    because workers reset their telemetry at startup and the parent
+    absorbs each report exactly once (reports are deleted after).
+    """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.spans import get_tracer
+
+    absorbed = 0
+    for path in sorted(
+        glob.glob(os.path.join(scratch_dir, "worker-*.metrics.json"))
+    ):
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if not isinstance(report, dict):
+            continue
+        for name, value in (report.get("counters") or {}).items():
+            if isinstance(value, (int, float)) and value > 0:
+                REGISTRY.counter(name).inc(value)
+        for name, summary in (report.get("histograms") or {}).items():
+            if isinstance(summary, dict):
+                REGISTRY.histogram(name).absorb(summary)
+        spans = report.get("spans")
+        if isinstance(spans, dict):
+            get_tracer().absorb_aggregates(spans)
+        absorbed += 1
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+    return absorbed

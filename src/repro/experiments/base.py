@@ -38,7 +38,10 @@ class ExperimentOptions:
     ``--progress`` heartbeat plugs in here (see :mod:`repro.obs`).
     ``precheck`` statically verifies every planned sweep spec before
     the first point simulates (see :mod:`repro.check`); the CLI's
-    ``--no-precheck`` turns it off.
+    ``--no-precheck`` turns it off. ``workers``/``shard_size`` shard
+    sweep points across processes (see :mod:`repro.exec`; the CLI's
+    ``--workers``/``--shard-size``), and ``plan_from_estimate`` skips
+    points below a predicted-delta threshold (``--plan-from-estimate``).
     """
 
     length: int = DEFAULT_LENGTH
@@ -50,6 +53,9 @@ class ExperimentOptions:
     paranoid: bool = False
     on_point: Optional[Callable[[Any, int, int], None]] = None
     precheck: bool = True
+    workers: int = 1
+    shard_size: Optional[int] = None
+    plan_from_estimate: Optional[float] = None
 
     def sweep_kwargs(self) -> Dict[str, Any]:
         """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
@@ -59,6 +65,9 @@ class ExperimentOptions:
             "paranoid": self.paranoid,
             "on_point": self.on_point,
             "precheck": self.precheck,
+            "workers": self.workers,
+            "shard_size": self.shard_size,
+            "plan_from_estimate": self.plan_from_estimate,
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:
@@ -69,6 +78,18 @@ class ExperimentOptions:
         return names
 
     def trace(self, benchmark: str) -> BranchTrace:
+        """The benchmark's trace, via the trace store when one is set.
+
+        With ``$REPRO_TRACE_STORE`` pointing at a directory, repeated
+        runs load the materialized ``.npz`` instead of regenerating
+        (``store.hits``/``store.misses`` count the difference); unset,
+        generation behaves exactly as before.
+        """
+        from repro.workloads.store import TraceStore
+
+        store = TraceStore.from_env()
+        if store is not None:
+            return store.get(benchmark, length=self.length, seed=self.seed)
         return make_workload(benchmark, length=self.length, seed=self.seed)
 
 

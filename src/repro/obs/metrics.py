@@ -82,6 +82,28 @@ class Histogram:
             "max": self.max,
         }
 
+    def absorb(self, summary: Dict[str, Optional[float]]) -> None:
+        """Merge another histogram's :meth:`summary` into this one.
+
+        The parallel executor uses this at join time to fold each
+        worker's saved histogram state into the parent registry, so the
+        merged ``run_metrics.json`` covers the whole sweep.
+        """
+        count = int(summary.get("count") or 0)
+        if count <= 0:
+            return
+        lo = summary.get("min")
+        hi = summary.get("max")
+        with self._lock:
+            self.count += count
+            self.total += float(summary.get("total") or 0.0)
+            if lo is not None:
+                lo = float(lo)
+                self.min = lo if self.min is None else min(self.min, lo)
+            if hi is not None:
+                hi = float(hi)
+                self.max = hi if self.max is None else max(self.max, hi)
+
 
 #: Instruments every run reports, declared up front so snapshots have a
 #: stable key set. ``grep`` for the name to find the emitting site.
@@ -103,6 +125,13 @@ WELL_KNOWN = {
         "interrupt.deferred",      # SIGINTs held to the next point boundary
         "faults.injected",
         "check.findings",          # actionable static-check findings
+        "sweep.points_pruned",     # points skipped by --plan-from-estimate
+        "store.hits",              # trace-store loads that skipped generation
+        "store.misses",            # trace-store requests that had to generate
+        "exec.workers_spawned",    # parallel sweep worker processes started
+        "exec.worker_failures",    # workers that exited without finishing
+        "exec.shards_claimed",     # shard leases taken (first claims)
+        "exec.leases_reclaimed",   # stale leases stolen from dead workers
     ),
     "gauges": (),
     "histograms": (

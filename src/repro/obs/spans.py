@@ -123,6 +123,20 @@ class SpanTracer:
             sink.close()
         return path
 
+    def abandon_sink(self) -> None:
+        """Drop the sink without flushing or closing it.
+
+        For forked worker processes only: a fork inherits the parent's
+        open sink handle *and* its buffered lines. Closing would flush
+        that inherited buffer into the shared file (duplicating the
+        parent's spans); abandoning forgets the handle so the child can
+        :meth:`configure_sink` its own file while the parent's stays
+        untouched.
+        """
+        self._sink = None
+        self._sink_path = None
+        self._sink_pending = 0
+
     # -- queries -------------------------------------------------------
 
     def aggregates(self) -> Dict[str, Dict[str, float]]:
@@ -138,6 +152,33 @@ class SpanTracer:
                 }
                 for name, (count, total, lo, hi) in sorted(self._aggregates.items())
             }
+
+    def absorb_aggregates(self, aggregates: Dict[str, Dict[str, float]]) -> None:
+        """Merge another tracer's :meth:`aggregates` into this one.
+
+        Used at parallel-sweep join time: each worker's span timings
+        (saved in its per-worker metrics file) are folded into the
+        parent tracer's per-name aggregates, so ``run_metrics.json``
+        and the summary table report the whole run. Only the aggregate
+        counters merge — worker span *trees* stay in the per-worker
+        JSONL sinks.
+        """
+        with self._lock:
+            for name, summary in aggregates.items():
+                count = int(summary.get("count") or 0)
+                if count <= 0:
+                    continue
+                total = float(summary.get("total_s") or 0.0)
+                lo = float(summary.get("min_s") or 0.0)
+                hi = float(summary.get("max_s") or 0.0)
+                agg = self._aggregates.get(name)
+                if agg is None:
+                    self._aggregates[name] = [count, total, lo, hi]
+                else:
+                    agg[0] += count
+                    agg[1] += total
+                    agg[2] = min(agg[2], lo)
+                    agg[3] = max(agg[3], hi)
 
     def reset(self) -> None:
         """Forget all recorded spans (sinks stay configured)."""

@@ -20,7 +20,9 @@ Actions:
 
 Known sites (grep for ``maybe_inject``): ``engine.vectorized``,
 ``sweep.point``, ``checkpoint.append``, ``checkpoint.flush``,
-``checkpoint.load``, ``trace.save``.
+``checkpoint.load``, ``trace.save``, ``exec.worker`` (per point in a
+parallel sweep worker, outside the retry wrapper — models a worker
+crash), ``exec.poll`` (the parallel parent's poll loop).
 
 Specs come from the ``REPRO_FAULT_SPEC`` environment variable (read on
 every pass, so tests can monkeypatch it) or programmatically via

@@ -13,6 +13,12 @@ completed point streams to an atomic on-disk journal
 run stopped. SIGINT finishes the in-flight point, flushes the journal,
 and exits cleanly; an optional ``deadline`` bounds the run the same
 way.
+
+Tier points are independent simulations, so ``workers > 1`` shards the
+pending points across a pool of processes coordinated through the same
+journal (see :mod:`repro.exec`) — results are point-for-point
+identical to a serial run. ``plan_from_estimate`` prunes points the
+static dealiasing estimator predicts to be uninteresting.
 """
 
 from __future__ import annotations
@@ -128,6 +134,60 @@ def _open_sweep_journal(
     return CheckpointJournal.open(path, key, resume=resume)
 
 
+def _prune_plan(
+    scheme: str,
+    trace: BranchTrace,
+    plan: List[Tuple[int, int]],
+    threshold: float,
+    bht_entries: Optional[int],
+    bht_assoc: int,
+) -> List[Tuple[int, int]]:
+    """Drop points whose predicted dealiasing delta is under ``threshold``.
+
+    The ``--plan-from-estimate`` planner: the static estimator
+    (:mod:`repro.check.estimator`) prices every planned split, and
+    points predicted to gain less than ``threshold`` misprediction
+    rate from dealiasing are skipped. Never silent: the pruned count is
+    logged (warning level — the sweep's coverage genuinely shrank) and
+    counted in ``sweep.points_pruned``. The sweep key is deliberately
+    unchanged, so pruned and full runs share one resumable journal.
+    """
+    from repro.aliasing.weights import (
+        branch_weights_from_trace,
+        stream_taken_rate,
+    )
+    from repro.check.estimator import predict_dealias_delta
+    from repro.obs.logging import get_logger
+
+    weights = branch_weights_from_trace(trace)
+    rate = stream_taken_rate(weights)
+    kept: List[Tuple[int, int]] = []
+    with span("sweep.plan_estimate", scheme=scheme, points=len(plan)):
+        for n, row_bits in plan:
+            spec = spec_for_point(
+                scheme,
+                col_bits=n - row_bits,
+                row_bits=row_bits,
+                bht_entries=bht_entries,
+                bht_assoc=bht_assoc,
+            )
+            delta = predict_dealias_delta(spec, weights, rate)
+            if delta.predicted_delta < threshold:
+                continue
+            kept.append((n, row_bits))
+    pruned = len(plan) - len(kept)
+    counter("sweep.points_pruned").inc(pruned)
+    get_logger("repro.sim.sweep").warning(
+        "plan-from-estimate pruned %d of %d points below predicted "
+        "delta %g (%d remain)",
+        pruned,
+        len(plan),
+        threshold,
+        len(kept),
+    )
+    return kept
+
+
 def sweep_tiers(
     scheme: str,
     trace: BranchTrace,
@@ -142,6 +202,9 @@ def sweep_tiers(
     deadline=None,
     on_point: Optional[Callable[[TierPoint, int, int], None]] = None,
     precheck: bool = True,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+    plan_from_estimate: Optional[float] = None,
 ) -> TierSurface:
     """Simulate every (columns x rows) split of every requested tier.
 
@@ -177,11 +240,29 @@ def sweep_tiers(
         semantics) before the first point simulates, so an unsound
         configuration fails in milliseconds instead of mid-sweep.
         The CLI exposes ``--no-precheck`` to skip it.
+    workers:
+        Processes to shard the sweep's points across. The default 1
+        runs today's serial loop unchanged; ``workers > 1`` delegates
+        pending points to :mod:`repro.exec` (shard leases over the
+        checkpoint journal), producing point-for-point identical
+        results. Without a ``checkpoint_dir`` a parallel run
+        coordinates through an ephemeral journal discarded at the end.
+    shard_size:
+        Points per shard for the parallel executor (default: sized so
+        each worker sees several shards, for rebalancing).
+    plan_from_estimate:
+        When set, skip points whose statically predicted dealiasing
+        delta (:mod:`repro.check.estimator`) is below this threshold;
+        the pruned count is logged and counted, never silent.
     """
     from repro.runtime.deadline import CooperativeInterrupt
     from repro.runtime.faults import maybe_inject
 
     size_bits = list(size_bits)
+    if workers < 1:
+        raise ConfigurationError(
+            f"workers must be >= 1, got {workers!r}"
+        )
     if precheck:
         from repro.check.configs import verify_sweep_plan
 
@@ -207,6 +288,14 @@ def sweep_tiers(
             )
     journal = None
     restored: Dict[Tuple[int, int], TierPoint] = {}
+    ephemeral_dir: Optional[str] = None
+    if checkpoint_dir is None and workers > 1:
+        # Parallel runs always coordinate through a journal; without a
+        # caller-provided directory use a throwaway one.
+        import tempfile
+
+        ephemeral_dir = tempfile.mkdtemp(prefix="repro-sweep-")
+        checkpoint_dir = ephemeral_dir
     if checkpoint_dir is not None:
         journal = _open_sweep_journal(
             checkpoint_dir,
@@ -226,6 +315,10 @@ def sweep_tiers(
         for row_bits in range(n + 1)
         if row_bits_filter is None or row_bits in row_bits_filter
     ]
+    if plan_from_estimate is not None:
+        plan = _prune_plan(
+            scheme, trace, plan, plan_from_estimate, bht_entries, bht_assoc
+        )
     total = len(plan)
     completed = 0
 
@@ -234,57 +327,112 @@ def sweep_tiers(
         with CooperativeInterrupt() as interrupt, span(
             "sweep_tiers", scheme=scheme, trace=trace.name, points=total
         ):
-            for n, row_bits in plan:
-                done = restored.get((n, row_bits))
-                if done is not None:
-                    surface.add(n, done)
-                    counter("sweep.points_restored").inc()
+            if workers > 1:
+                from repro.exec.parallel import run_parallel_sweep
+
+                pending = []
+                for n, row_bits in plan:
+                    done = restored.get((n, row_bits))
+                    if done is not None:
+                        surface.add(n, done)
+                        counter("sweep.points_restored").inc()
+                        completed += 1
+                        if on_point is not None:
+                            on_point(done, completed, total)
+                    else:
+                        pending.append((n, row_bits))
+                if pending:
+                    run_parallel_sweep(
+                        scheme,
+                        trace,
+                        pending,
+                        journal,
+                        surface,
+                        interrupt,
+                        workers=workers,
+                        shard_size=shard_size,
+                        bht_entries=bht_entries,
+                        bht_assoc=bht_assoc,
+                        engine=engine,
+                        paranoid=paranoid,
+                        deadline=deadline,
+                        on_point=on_point,
+                        completed=completed,
+                        total=total,
+                    )
+                # Workers land points in completion order; re-impose
+                # the serial plan order so surfaces are identical.
+                tier_order: Dict[int, None] = {}
+                for n, _ in plan:
+                    tier_order.setdefault(n)
+                surface.tiers = {
+                    n: sorted(
+                        surface.tiers[n], key=lambda p: p.row_bits
+                    )
+                    for n in tier_order
+                    if n in surface.tiers
+                }
+            else:
+                for n, row_bits in plan:
+                    done = restored.get((n, row_bits))
+                    if done is not None:
+                        surface.add(n, done)
+                        counter("sweep.points_restored").inc()
+                        completed += 1
+                        if on_point is not None:
+                            on_point(done, completed, total)
+                        continue
+                    if deadline is not None:
+                        deadline.check(f"sweep_tiers({scheme})")
+                    interrupt.checkpoint()
+                    maybe_inject("sweep.point")
+                    spec = spec_for_point(
+                        scheme,
+                        col_bits=n - row_bits,
+                        row_bits=row_bits,
+                        bht_entries=bht_entries,
+                        bht_assoc=bht_assoc,
+                    )
+                    started = time.perf_counter()
+                    with span(
+                        "sweep.point", scheme=scheme, n=n, row_bits=row_bits
+                    ):
+                        result = simulate(
+                            spec, trace, engine=engine, paranoid=paranoid
+                        )
+                    histogram("sweep.point_s").observe(
+                        time.perf_counter() - started
+                    )
+                    counter("sweep.points_computed").inc()
+                    point = TierPoint(
+                        col_bits=n - row_bits,
+                        row_bits=row_bits,
+                        misprediction_rate=result.misprediction_rate,
+                        first_level_miss_rate=result.first_level_miss_rate,
+                    )
+                    surface.add(n, point)
+                    if journal is not None:
+                        journal.append(n, point)
                     completed += 1
                     if on_point is not None:
-                        on_point(done, completed, total)
-                    continue
-                if deadline is not None:
-                    deadline.check(f"sweep_tiers({scheme})")
-                interrupt.checkpoint()
-                maybe_inject("sweep.point")
-                spec = spec_for_point(
-                    scheme,
-                    col_bits=n - row_bits,
-                    row_bits=row_bits,
-                    bht_entries=bht_entries,
-                    bht_assoc=bht_assoc,
-                )
-                started = time.perf_counter()
-                with span(
-                    "sweep.point", scheme=scheme, n=n, row_bits=row_bits
-                ):
-                    result = simulate(
-                        spec, trace, engine=engine, paranoid=paranoid
-                    )
-                histogram("sweep.point_s").observe(
-                    time.perf_counter() - started
-                )
-                counter("sweep.points_computed").inc()
-                point = TierPoint(
-                    col_bits=n - row_bits,
-                    row_bits=row_bits,
-                    misprediction_rate=result.misprediction_rate,
-                    first_level_miss_rate=result.first_level_miss_rate,
-                )
-                surface.add(n, point)
-                if journal is not None:
-                    journal.append(n, point)
-                completed += 1
-                if on_point is not None:
-                    on_point(point, completed, total)
+                        on_point(point, completed, total)
     except BaseException:
         # Interrupt, deadline, engine error: persist completed points
         # so the re-run resumes instead of restarting.
         if journal is not None:
             journal.flush()
+        if ephemeral_dir is not None:
+            import shutil
+
+            shutil.rmtree(ephemeral_dir, ignore_errors=True)
         raise
     if journal is not None:
         journal.flush()
+    if ephemeral_dir is not None and journal is not None:
+        import shutil
+
+        journal.discard()
+        shutil.rmtree(ephemeral_dir, ignore_errors=True)
     return surface
 
 

@@ -6,19 +6,42 @@ workload request (name, length, seeds) to a ``.npz`` file under a
 directory, generating on first request and loading thereafter —
 exactly the role the original trace tapes played for the paper's
 authors.
+
+The store doubles as the service layer other subsystems share:
+
+* ``TraceStore.from_env()`` returns a store rooted at
+  ``$REPRO_TRACE_STORE`` (or ``None`` when the variable is unset), so
+  experiments and ``check dealias --validate`` opt into caching by
+  environment without code changes at every call site;
+* :meth:`TraceStore.put` materializes an in-memory trace keyed by its
+  content fingerprint — the parallel sweep executor uses it so every
+  worker of a sweep loads one shared file instead of regenerating;
+* :meth:`TraceStore.get_or_create` caches arbitrary trace factories
+  (the estimator's validation micros) under a caller-chosen key.
+
+Every load that skips generation counts ``store.hits``; every request
+that had to generate counts ``store.misses``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.obs.metrics import counter
 from repro.traces.io import load_trace, save_trace
 from repro.traces.trace import BranchTrace
 from repro.workloads.registry import make_workload
 
 #: Directory used when none is given; overridable via environment.
 DEFAULT_STORE_ENV = "REPRO_TRACE_STORE"
+
+
+def _safe_key(key: str) -> str:
+    """A filename-safe rendering of a caller-chosen cache key."""
+    return "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in key
+    )
 
 
 class TraceStore:
@@ -30,6 +53,20 @@ class TraceStore:
                 DEFAULT_STORE_ENV, os.path.join(".", "traces")
             )
         self.directory = directory
+
+    @classmethod
+    def from_env(cls) -> Optional["TraceStore"]:
+        """The store named by ``$REPRO_TRACE_STORE``, or None when unset.
+
+        The explicit-opt-in shape: callers that *can* use a store (the
+        serial sweep runner, ``check dealias --validate``) consult this
+        and fall back to plain generation when the operator has not
+        pointed the environment at a cache directory.
+        """
+        directory = os.environ.get(DEFAULT_STORE_ENV)
+        if not directory:
+            return None
+        return cls(directory)
 
     def _path(
         self, name: str, length: int, seed: int, trace_seed: int
@@ -49,7 +86,9 @@ class TraceStore:
             trace_seed = seed
         path = self._path(name, length, seed, trace_seed)
         if os.path.exists(path):
+            counter("store.hits").inc()
             return load_trace(path)
+        counter("store.misses").inc()
         trace = make_workload(
             name,
             length=length,
@@ -60,6 +99,45 @@ class TraceStore:
         os.makedirs(self.directory, exist_ok=True)
         save_trace(trace, path)
         return trace
+
+    def get_or_create(
+        self, key: str, factory: Callable[[], BranchTrace]
+    ) -> BranchTrace:
+        """Load the trace cached under ``key``, else build and save it.
+
+        ``key`` is caller-chosen and must capture everything the
+        factory's output depends on (name, length, seeds) — the store
+        never re-derives it. Saved traces round-trip name and arrays
+        exactly, so a cached load is simulation-identical to a fresh
+        ``factory()`` call.
+        """
+        path = os.path.join(self.directory, _safe_key(key) + ".npz")
+        if os.path.exists(path):
+            counter("store.hits").inc()
+            return load_trace(path)
+        counter("store.misses").inc()
+        trace = factory()
+        os.makedirs(self.directory, exist_ok=True)
+        save_trace(trace, path)
+        return trace
+
+    def put(self, trace: BranchTrace) -> str:
+        """Materialize ``trace`` keyed by content fingerprint.
+
+        Returns the ``.npz`` path; an identical trace already stored is
+        reused (hit), so N workers sharing one store pay one save. The
+        fingerprint covers the full pc/taken/target arrays, making the
+        path collision-free across workloads, lengths and seeds.
+        """
+        path = os.path.join(
+            self.directory, f"fp-{trace.fingerprint()}.npz"
+        )
+        if os.path.exists(path):
+            counter("store.hits").inc()
+            return path
+        counter("store.misses").inc()
+        os.makedirs(self.directory, exist_ok=True)
+        return save_trace(trace, path)
 
     def contains(
         self,
