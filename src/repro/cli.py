@@ -276,6 +276,155 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_options(simulate)
     _add_obs_options(simulate)
 
+    doctor = sub.add_parser(
+        "doctor",
+        help="scan (and repair) checkpoint journals and the trace store",
+        description=(
+            "Integrity doctor. Validates journal headers, per-line CRCs "
+            "and fencing tokens, and re-hashes stored trace archives. "
+            "Exit 0 = healthy, 1 = findings, 2 = scan failed internally."
+        ),
+    )
+    doctor.add_argument(
+        "--journal",
+        action="append",
+        dest="journals",
+        metavar="PATH",
+        help="scan one checkpoint journal file (repeatable)",
+    )
+    doctor.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="scan every *.journal under DIR",
+    )
+    doctor.add_argument(
+        "--store",
+        dest="store_dir",
+        metavar="DIR",
+        default=None,
+        help="verify every archive in a trace-store directory",
+    )
+    doctor.add_argument(
+        "--repair",
+        action="store_true",
+        help=(
+            "quarantine bad bytes (.quarantine sidecars) and truncate "
+            "journals to their last good line"
+        ),
+    )
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a machine-readable JSON report",
+    )
+    doctor.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as blocking (exit 1), not just errors",
+    )
+    _add_obs_options(doctor)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault-injection matrix over parallel sweeps",
+        description=(
+            "Run a seeded matrix of fault scenarios (worker crashes, "
+            "torn writes, stale clocks, lost heartbeats, journal "
+            "corruption) against a parallel micro sweep and assert the "
+            "executor's invariants: the sweep completes, the results "
+            "are bit-identical to a fault-free serial run, and no "
+            "superseded-token line survives in the journal. "
+            "Exit 0 = every scenario held, 1 = an invariant broke."
+        ),
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="rng seed; the whole scenario matrix is a deterministic "
+        "function of it",
+    )
+    chaos.add_argument(
+        "--scenarios",
+        type=int,
+        default=8,
+        metavar="K",
+        help="number of fault scenarios to draw and run (default: 8)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes per scenario sweep (default: 2)",
+    )
+    chaos.add_argument("--scheme", default="gshare")
+    chaos.add_argument(
+        "--length",
+        type=int,
+        default=2000,
+        help="dynamic branches in the chaos micro trace",
+    )
+    chaos.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="tier exponents for the micro sweep (default: 4 5)",
+    )
+    chaos.add_argument("--benchmark", default="compress")
+    _add_obs_options(chaos)
+
+    store = sub.add_parser(
+        "store",
+        help="trace-store hygiene: list, verify, evict",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser(
+        "ls", help="list stored traces in LRU order with sizes"
+    )
+    store_ls.add_argument(
+        "--store",
+        dest="store_dir",
+        default=None,
+        help="store directory (default: ./traces or $REPRO_TRACE_STORE)",
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used traces down to a size cap"
+    )
+    store_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="B",
+        help="keep at most B bytes of traces (0 empties the store)",
+    )
+    store_gc.add_argument(
+        "--store", dest="store_dir", default=None,
+        help="store directory (default: ./traces or $REPRO_TRACE_STORE)",
+    )
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="load every archive and re-hash fingerprint-keyed files",
+    )
+    store_verify.add_argument(
+        "--store", dest="store_dir", default=None,
+        help="store directory (default: ./traces or $REPRO_TRACE_STORE)",
+    )
+    store_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="move corrupt/mismatched archives aside (.quarantine)",
+    )
+    store_verify.add_argument("--json", action="store_true")
+    store_verify.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as blocking (exit 1), not just errors",
+    )
+
     obs = sub.add_parser("obs", help="inspect saved telemetry files")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
@@ -521,6 +670,87 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"{store._path(args.benchmark, length, args.seed, args.seed)}"
         )
         return 0
+
+    if args.command == "doctor":
+        from repro.check.doctor import run_doctor
+        from repro.check.runner import render
+
+        report = run_doctor(
+            journals=tuple(args.journals or ()),
+            checkpoint_dir=args.checkpoint_dir,
+            store_dir=args.store_dir,
+            repair=args.repair,
+        )
+        print(render(report, as_json=args.json, strict=args.strict))
+        return report.exit_code(args.strict)
+
+    if args.command == "chaos":
+        from repro.exec.chaos import run_chaos
+
+        on_scenario = None
+        if args.progress:
+            def on_scenario(result) -> None:
+                verdict = "ok" if result.ok else "FAIL"
+                print(
+                    f"[chaos {result.scenario.index + 1}/{args.scenarios}] "
+                    f"{verdict} {result.scenario.name} "
+                    f"({result.duration_s:.2f}s)",
+                    file=sys.stderr,
+                )
+        report = run_chaos(
+            seed=args.seed,
+            scenarios=args.scenarios,
+            workers=args.workers,
+            scheme=args.scheme,
+            length=args.length,
+            size_bits=tuple(args.sizes) if args.sizes else (4, 5),
+            benchmark=args.benchmark,
+            on_scenario=on_scenario,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.command == "store":
+        from repro.workloads.store import TraceStore
+
+        store = TraceStore(args.store_dir)
+        if args.store_command == "ls":
+            import time as _time
+
+            rows = store.ls()
+            for row in rows:
+                used = _time.strftime(
+                    "%Y-%m-%d %H:%M:%S",
+                    _time.localtime(float(row["used_at"])),
+                )
+                print(f"{int(row['bytes']):>12d}  {used}  {row['path']}")
+            print(
+                f"total: {len(rows)} trace(s), "
+                f"{sum(int(r['bytes']) for r in rows)} bytes"
+            )
+            return 0
+        if args.store_command == "gc":
+            before = store.total_bytes()
+            evicted = store.gc(args.max_bytes)
+            for path in evicted:
+                print(f"evicted {path}")
+            print(
+                f"gc: {before} -> {store.total_bytes()} bytes "
+                f"({len(evicted)} evicted, cap {args.max_bytes})"
+            )
+            return 0
+        if args.store_command == "verify":
+            from repro.check.doctor import run_doctor
+            from repro.check.runner import render
+
+            report = run_doctor(
+                store_dir=store.directory, repair=args.repair
+            )
+            print(render(report, as_json=args.json, strict=args.strict))
+            return report.exit_code(args.strict)
+        raise AssertionError(
+            f"unhandled store command {args.store_command!r}"
+        )
 
     if args.command == "simulate":
         from repro.experiments.base import DEFAULT_LENGTH

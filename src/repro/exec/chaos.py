@@ -1,0 +1,348 @@
+"""Chaos harness: randomized fault matrices over parallel sweeps.
+
+``repro chaos`` answers the question the unit tests cannot: does the
+*composition* of lease fencing, journal CRCs, tolerant merges, respawn
+rounds, and the serial fallback actually hold up under arbitrary
+combinations of crashes, pauses, torn writes, and skewed clocks?
+
+The runner draws fault scenarios from a seeded catalog (every knob a
+deterministic function of ``--seed``), executes the same micro sweep
+under each, and asserts the two invariants the executor promises:
+
+* **completion** — the sweep finishes despite the injected faults
+  (workers may die every round; the serial fallback guarantees it);
+* **bit identity** — the resulting surface is byte-for-byte identical
+  to a fault-free serial run (faults may cost time, never results);
+
+plus a post-mortem: the master journal must pass the integrity doctor
+with no error-severity findings — in particular, no line stamped with
+a superseded fencing token may survive anywhere.
+
+Faults are delivered through ``REPRO_FAULT_SPEC`` (inherited by worker
+processes over fork/spawn), the backend through ``REPRO_EXEC_BACKEND``
+and the lease TTL through ``REPRO_LEASE_TTL_S``, so a scenario
+exercises exactly the code paths a mis-behaving multi-host deployment
+would.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import counter, snapshot
+
+#: (name, spec template, backend, lease ttl) — ``{x}`` placeholders are
+#: filled from the seeded rng per draw.
+_TEMPLATES: Tuple[Tuple[str, str, str, Optional[float]], ...] = (
+    (
+        "worker-crash-early",
+        "exec.worker:raise@{nth_small}",
+        "local",
+        None,
+    ),
+    (
+        "worker-crash-late",
+        "exec.worker:raise@{nth_large}",
+        "local",
+        None,
+    ),
+    (
+        "worker-interrupt",
+        "exec.worker:interrupt@{nth_small}",
+        "local",
+        None,
+    ),
+    (
+        "torn-journal",
+        "checkpoint.flush:torn-write@{nth_small}",
+        "local",
+        None,
+    ),
+    (
+        "corrupt-journal",
+        "checkpoint.flush:corrupt@{nth_small}",
+        "local",
+        None,
+    ),
+    (
+        "zombie-delay",
+        "exec.worker:delay({pause})@{nth_small}",
+        "heartbeat",
+        0.15,
+    ),
+    (
+        "heartbeat-loss",
+        "lease.heartbeat:stale-clock(-{skew})@{nth_small}",
+        "heartbeat",
+        0.25,
+    ),
+    (
+        "future-claim",
+        "lease.claim:stale-clock({skew})@1",
+        "heartbeat",
+        0.25,
+    ),
+    (
+        "append-delay",
+        "journal.append:delay({jitter})%{every}",
+        "local",
+        None,
+    ),
+    (
+        "slow-poll",
+        "exec.poll:delay({jitter})%{every}",
+        "local",
+        None,
+    ),
+    (
+        "torn-write-plus-crash",
+        "checkpoint.flush:torn-write@{nth_small},exec.worker:raise@{nth_large}",
+        "local",
+        None,
+    ),
+    (
+        "claim-delay",
+        "lease.claim:delay({jitter})%2",
+        "heartbeat",
+        None,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One drawn scenario: a concrete fault spec plus coordination env."""
+
+    index: int
+    name: str
+    fault_spec: str
+    backend: str
+    lease_ttl_s: Optional[float]
+
+
+@dataclass
+class ScenarioResult:
+    scenario: ChaosScenario
+    ok: bool
+    duration_s: float
+    detail: str = ""
+    fence_rejections: int = 0
+    faults_injected: int = 0
+
+
+@dataclass
+class ChaosReport:
+    """Everything one ``repro chaos`` invocation observed."""
+
+    seed: int
+    workers: int
+    scheme: str
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r.ok for r in self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: seed={self.seed} workers={self.workers} "
+            f"scheme={self.scheme} scenarios={len(self.results)}"
+        ]
+        for result in self.results:
+            verdict = "ok" if result.ok else "FAIL"
+            lines.append(
+                f"  [{result.scenario.index:2d}] {verdict:4s} "
+                f"{result.scenario.name:22s} {result.duration_s:6.2f}s "
+                f"faults={result.faults_injected:3d} "
+                f"fenced={result.fence_rejections:2d} "
+                f"spec={result.scenario.fault_spec}"
+                + (f"  <- {result.detail}" if result.detail else "")
+            )
+        verdict = "PASS" if self.ok else "FAIL"
+        lines.append(
+            f"chaos: {sum(r.ok for r in self.results)}/"
+            f"{len(self.results)} scenario(s) held the invariants "
+            f"-> {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def draw_scenarios(seed: int, count: int) -> List[ChaosScenario]:
+    """The first ``count`` scenarios of the seed's deterministic stream.
+
+    The catalog is cycled in a seeded shuffle order with fresh
+    parameter draws each pass, so ``--scenarios 24`` revisits templates
+    with different timings rather than repeating itself.
+    """
+    rng = random.Random(seed)
+    drawn: List[ChaosScenario] = []
+    order: List[int] = []
+    while len(drawn) < count:
+        if not order:
+            order = list(range(len(_TEMPLATES)))
+            rng.shuffle(order)
+        name, template, backend, ttl = _TEMPLATES[order.pop(0)]
+        spec = template.format(
+            nth_small=rng.randint(1, 3),
+            nth_large=rng.randint(4, 7),
+            pause=round(rng.uniform(0.5, 0.9), 2),
+            skew=rng.randint(120, 900),
+            jitter=round(rng.uniform(0.02, 0.15), 2),
+            every=rng.randint(2, 5),
+        )
+        drawn.append(
+            ChaosScenario(
+                index=len(drawn),
+                name=name,
+                fault_spec=spec,
+                backend=backend,
+                lease_ttl_s=ttl,
+            )
+        )
+    return drawn
+
+
+def _surface_cells(surface) -> List[Tuple]:
+    """Every field of every point — equality here is bit identity."""
+    return [
+        (n, p.col_bits, p.row_bits, p.misprediction_rate,
+         p.aliasing_rate, p.first_level_miss_rate)
+        for n, points in surface.tiers.items()
+        for p in points
+    ]
+
+
+class _ScenarioEnv:
+    """Scoped environment mutation: fault spec, backend, lease TTL."""
+
+    _KEYS = ("REPRO_FAULT_SPEC", "REPRO_EXEC_BACKEND", "REPRO_LEASE_TTL_S")
+
+    def __init__(self, scenario: Optional[ChaosScenario]):
+        self.scenario = scenario
+        self._saved: Dict[str, Optional[str]] = {}
+
+    def __enter__(self) -> "_ScenarioEnv":
+        from repro.runtime.faults import clear_faults
+
+        for key in self._KEYS:
+            self._saved[key] = os.environ.pop(key, None)
+        if self.scenario is not None:
+            os.environ["REPRO_FAULT_SPEC"] = self.scenario.fault_spec
+            os.environ["REPRO_EXEC_BACKEND"] = self.scenario.backend
+            if self.scenario.lease_ttl_s is not None:
+                os.environ["REPRO_LEASE_TTL_S"] = str(
+                    self.scenario.lease_ttl_s
+                )
+        clear_faults()  # drop any cached plan (and its hit counts)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:  # noqa: ANN001
+        from repro.runtime.faults import clear_faults
+
+        for key, value in self._saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        clear_faults()
+
+
+def run_chaos(
+    seed: int,
+    scenarios: int,
+    workers: int = 2,
+    scheme: str = "gshare",
+    length: int = 2_000,
+    size_bits: Tuple[int, ...] = (4, 5),
+    benchmark: str = "compress",
+    on_scenario: Optional[Callable[[ScenarioResult], None]] = None,
+) -> ChaosReport:
+    """Run the seeded fault matrix; every scenario must hold the
+    completion + bit-identity + clean-journal invariants."""
+    from repro.check.doctor import scan_checkpoint_dir
+    from repro.sim.sweep import sweep_tiers
+    from repro.workloads.registry import make_workload
+
+    log = get_logger("repro.exec.chaos")
+    trace = make_workload(benchmark, length=length, seed=1)
+
+    # The reference results: one fault-free serial sweep.
+    with _ScenarioEnv(None):
+        baseline = _surface_cells(
+            sweep_tiers(
+                scheme, trace, size_bits=list(size_bits), precheck=False
+            )
+        )
+
+    report = ChaosReport(seed=seed, workers=workers, scheme=scheme)
+    for scenario in draw_scenarios(seed, scenarios):
+        counter("chaos.scenarios").inc()
+        before = snapshot()["counters"]
+        started = time.perf_counter()
+        checkpoint_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+        failure = ""
+        try:
+            with _ScenarioEnv(scenario):
+                surface = sweep_tiers(
+                    scheme,
+                    trace,
+                    size_bits=list(size_bits),
+                    checkpoint_dir=checkpoint_dir,
+                    workers=workers,
+                    precheck=False,
+                )
+            cells = _surface_cells(surface)
+            if cells != baseline:
+                failure = (
+                    f"results diverged from serial baseline "
+                    f"({len(cells)} vs {len(baseline)} cells)"
+                )
+            else:
+                errors = [
+                    f
+                    for f in scan_checkpoint_dir(checkpoint_dir)
+                    if f.severity == "error"
+                ]
+                if errors:
+                    failure = (
+                        "journal not clean after completion: "
+                        + "; ".join(f.why for f in errors[:3])
+                    )
+        except Exception as exc:  # sweep must never die under chaos
+            failure = f"sweep raised {type(exc).__name__}: {exc}"
+        finally:
+            shutil.rmtree(checkpoint_dir, ignore_errors=True)
+        after = snapshot()["counters"]
+        result = ScenarioResult(
+            scenario=scenario,
+            ok=not failure,
+            duration_s=time.perf_counter() - started,
+            detail=failure,
+            fence_rejections=int(
+                after.get("lease.fence_rejections", 0)
+                - before.get("lease.fence_rejections", 0)
+            ),
+            faults_injected=int(
+                after.get("faults.injected", 0)
+                - before.get("faults.injected", 0)
+            ),
+        )
+        if failure:
+            counter("chaos.failures").inc()
+            log.warning(
+                "chaos scenario %d (%s) failed: %s",
+                scenario.index,
+                scenario.name,
+                failure,
+            )
+        report.results.append(result)
+        if on_scenario is not None:
+            on_scenario(result)
+    return report

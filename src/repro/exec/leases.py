@@ -3,12 +3,31 @@
 A *lease* is one small JSON file per shard in the executor's scratch
 directory. Workers race to claim shards by exclusive file creation
 (``O_CREAT | O_EXCL`` — atomic on POSIX), so exactly one live worker
-owns a shard at a time. A lease names its owner pid; when that process
-dies mid-shard the lease goes *stale* and any other worker may reclaim
-it by atomically rewriting the file. Reclaiming re-runs only the
+owns a shard at a time. When the owner dies mid-shard the lease goes
+*stale* and another worker may reclaim it. Reclaiming re-runs only the
 points the dead owner had not yet journaled — results are deduplicated
 by the checkpoint journal, so the lease layer provides at-least-once
 execution and the journal upgrades it to exactly-once results.
+
+Coordination is pluggable (:class:`CoordinationBackend`):
+
+* :class:`LocalPidBackend` — single host. Liveness is a pid probe
+  (``os.kill(pid, 0)``); a dead-pid lease goes stale instantly and the
+  TTL only breaks ties when the probe is inconclusive.
+* :class:`HeartbeatBackend` — shared filesystem across hosts, where
+  pids cannot be probed. Owners renew their lease by periodic
+  heartbeat; a lease whose last heartbeat is older than the TTL is
+  stale regardless of pid state.
+
+Both backends implement *fencing*: every claim or reclaim of a shard
+mints a monotonically increasing token (minted atomically via an
+``O_EXCL`` per-generation marker file, so two reclaimers can never
+share a token), workers stamp their journal appends with it, and the
+merge layer rejects lines bearing a superseded token — a
+paused-and-resumed zombie worker can therefore never corrupt results.
+Reclaim races are additionally closed by write-then-readback nonce
+verification: a reclaimer only proceeds when the lease file it reads
+back carries its own nonce.
 
 Lease files are coordination state, not results: they live and die
 with the scratch directory and are never needed to resume a sweep (the
@@ -17,18 +36,35 @@ journal is).
 
 from __future__ import annotations
 
+import glob
 import json
 import os
+import socket
 import time
+import uuid
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.obs.metrics import counter
+from repro.runtime.backoff import CLAIM_BACKOFF
 from repro.runtime.checkpoint import atomic_write_text
+from repro.runtime.faults import clock_skew, fire_site
 
 #: A claimed lease older than this with a live owner is still honored;
 #: the TTL only breaks ties for owners whose liveness cannot be probed
 #: (pid recycled, cross-container). Dead-pid leases go stale instantly.
 DEFAULT_LEASE_TTL_S = 600.0
+
+#: Timestamps this far in the *future* are tolerated as clock skew; a
+#: lease claimed or heartbeated further ahead than this is treated as
+#: stale rather than letting a skewed clock extend it indefinitely.
+CLOCK_SKEW_ALLOWANCE_S = 5.0
+
+#: Environment overrides, inherited by forked/spawned workers.
+BACKEND_ENV = "REPRO_EXEC_BACKEND"
+LEASE_TTL_ENV = "REPRO_LEASE_TTL_S"
+
+BACKENDS = ("local", "heartbeat")
 
 _STATUS_CLAIMED = "claimed"
 _STATUS_DONE = "done"
@@ -36,6 +72,38 @@ _STATUS_DONE = "done"
 
 def lease_path(directory: str, shard_id: int) -> str:
     return os.path.join(directory, f"shard-{shard_id:04d}.lease")
+
+
+def generation_path(directory: str, shard_id: int, token: int) -> str:
+    """The ``O_EXCL`` marker file that makes token minting atomic."""
+    return os.path.join(directory, f"shard-{shard_id:04d}.gen-{token}")
+
+
+@dataclass(frozen=True)
+class OwnerId:
+    """Globally unique identity of one worker process."""
+
+    host: str
+    pid: int
+    nonce: str
+
+    @classmethod
+    def mine(cls) -> "OwnerId":
+        return cls(
+            host=socket.gethostname(),
+            pid=os.getpid(),
+            nonce=uuid.uuid4().hex[:12],
+        )
+
+
+@dataclass(frozen=True)
+class ShardLease:
+    """A successfully claimed shard: the handle for heartbeat/done."""
+
+    shard_id: int
+    token: int
+    owner: OwnerId
+    heartbeat_seq: int = 0
 
 
 def _pid_alive(pid: int) -> bool:
@@ -61,66 +129,351 @@ def read_lease(directory: str, shard_id: int) -> Optional[Dict[str, Any]]:
     return payload
 
 
-def _payload(status: str) -> str:
-    return (
-        json.dumps(
-            {
-                "pid": os.getpid(),
-                "status": status,
-                "claimed_at": time.time(),
-            },
-            sort_keys=True,
+def _future_dated(stamp: float, now: float) -> bool:
+    """Whether a timestamp is further ahead than clock skew explains."""
+    return (stamp - now) > CLOCK_SKEW_ALLOWANCE_S
+
+
+class CoordinationBackend:
+    """File-based shard coordination; subclasses define staleness.
+
+    The claim/heartbeat/done machinery is shared: exclusive creation
+    for first claims, generation markers + nonce readback for
+    reclaims, nonce-verified heartbeat renewal and completion.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        directory: str,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        owner: Optional[OwnerId] = None,
+    ):
+        self.directory = directory
+        self.ttl_s = ttl_s
+        self.owner = owner or OwnerId.mine()
+
+    # -- payloads ------------------------------------------------------
+
+    def _payload(
+        self,
+        status: str,
+        token: int,
+        claimed_at: float,
+        heartbeat_seq: int,
+        skew: float = 0.0,
+    ) -> str:
+        """Serialized lease state. ``skew`` shifts the wall clock this
+        process *records* (the ``stale-clock`` fault), modelling a
+        skewed host without touching real time."""
+        now = time.time() + skew
+        return (
+            json.dumps(
+                {
+                    "backend": self.name,
+                    "host": self.owner.host,
+                    "pid": self.owner.pid,
+                    "nonce": self.owner.nonce,
+                    "status": status,
+                    "token": token,
+                    "claimed_at": claimed_at,
+                    "heartbeat_at": now,
+                    "heartbeat_seq": heartbeat_seq,
+                },
+                sort_keys=True,
+            )
+            + "\n"
         )
-        + "\n"
+
+    # -- staleness (subclass responsibility) ---------------------------
+
+    def is_stale(self, lease: Optional[Dict[str, Any]]) -> bool:
+        """Whether a lease no longer protects its shard."""
+        raise NotImplementedError
+
+    def _common_staleness(
+        self, lease: Dict[str, Any], stamp_key: str
+    ) -> Optional[bool]:
+        """Staleness rules shared by both backends, or None to defer.
+
+        A missing/corrupt timestamp and a timestamp future-dated beyond
+        the skew allowance are both stale: a skewed clock must never
+        *extend* a lease (it would wedge the sweep until the skew
+        passed).
+        """
+        if lease.get("status") == _STATUS_DONE:
+            return False  # finished shards are never re-claimed
+        stamp = lease.get(stamp_key)
+        if not isinstance(stamp, (int, float)):
+            return True
+        now = time.time()
+        if _future_dated(float(stamp), now):
+            return True
+        if (now - float(stamp)) > self.ttl_s:
+            return True
+        return None
+
+    # -- claiming ------------------------------------------------------
+
+    def try_claim(self, shard_id: int) -> Optional[ShardLease]:
+        """Claim the shard for this owner; None when someone holds it.
+
+        First claims use exclusive creation so two live workers can
+        never both win. Stale leases are reclaimed in three steps:
+        mint the next fencing token by exclusively creating its
+        generation marker (at most one process ever holds a given
+        token), atomically rewrite the lease, then read it back and
+        verify the nonce — the reclaim only counts when our own write
+        survived.
+        """
+        skew = clock_skew(fire_site("lease.claim"))
+        path = lease_path(self.directory, shard_id)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return self._try_reclaim(shard_id, path, skew)
+        except OSError:
+            return None  # unwritable scratch dir: let another worker try
+        with os.fdopen(fd, "w", encoding="ascii") as handle:
+            handle.write(
+                self._payload(
+                    _STATUS_CLAIMED, 1, time.time() + skew, 0, skew=skew
+                )
+            )
+        counter("exec.shards_claimed").inc()
+        return ShardLease(shard_id=shard_id, token=1, owner=self.owner)
+
+    def _try_reclaim(
+        self, shard_id: int, path: str, skew: float = 0.0
+    ) -> Optional[ShardLease]:
+        existing = read_lease(self.directory, shard_id)
+        if not self.is_stale(existing):
+            return None
+        token = self._mint_token(shard_id, existing)
+        if token is None:
+            return None  # another reclaimer won the generation race
+        atomic_write_text(
+            path,
+            self._payload(
+                _STATUS_CLAIMED, token, time.time() + skew, 0, skew=skew
+            ),
+        )
+        readback = read_lease(self.directory, shard_id)
+        if readback is None or readback.get("nonce") != self.owner.nonce:
+            # Verify-after-write failed: a concurrent writer replaced
+            # our payload between write and readback. Back off so the
+            # contenders spread out, then let the caller rescan.
+            CLAIM_BACKOFF.sleep(0)
+            return None
+        counter("exec.leases_reclaimed").inc()
+        return ShardLease(shard_id=shard_id, token=token, owner=self.owner)
+
+    def _mint_token(
+        self, shard_id: int, existing: Optional[Dict[str, Any]]
+    ) -> Optional[int]:
+        """Atomically mint the shard's next fencing token, or None.
+
+        The token is one past the greater of the lease's recorded token
+        and the highest generation marker on disk (a corrupt lease file
+        must not reset the sequence). Exclusive creation of the marker
+        guarantees global uniqueness.
+        """
+        recorded = 0
+        if existing is not None and isinstance(existing.get("token"), int):
+            recorded = existing["token"]
+        token = max(recorded, self._max_generation(shard_id)) + 1
+        try:
+            fd = os.open(
+                generation_path(self.directory, shard_id, token),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                0o644,
+            )
+        except OSError:
+            return None
+        os.close(fd)
+        return token
+
+    def _max_generation(self, shard_id: int) -> int:
+        pattern = os.path.join(
+            self.directory, f"shard-{shard_id:04d}.gen-*"
+        )
+        best = 1  # the implicit generation of a first claim
+        for path in glob.glob(pattern):
+            try:
+                best = max(best, int(path.rsplit("-", 1)[1]))
+            except ValueError:
+                continue
+        return best
+
+    # -- renewal and completion ----------------------------------------
+
+    def heartbeat(self, lease: ShardLease) -> Optional[ShardLease]:
+        """Renew ownership; None when the lease was lost (fenced off).
+
+        The renewal is nonce-verified: if another worker reclaimed the
+        shard (or the lease file vanished), the owner learns it here
+        and must abandon the shard — its fencing token is superseded
+        and any further journal appends would be rejected anyway.
+        """
+        skew = clock_skew(fire_site("lease.heartbeat"))
+        current = read_lease(self.directory, lease.shard_id)
+        if current is None or current.get("nonce") != lease.owner.nonce:
+            return None
+        renewed = ShardLease(
+            shard_id=lease.shard_id,
+            token=lease.token,
+            owner=lease.owner,
+            heartbeat_seq=lease.heartbeat_seq + 1,
+        )
+        claimed_at = current.get("claimed_at")
+        atomic_write_text(
+            lease_path(self.directory, lease.shard_id),
+            self._payload(
+                _STATUS_CLAIMED,
+                lease.token,
+                claimed_at if isinstance(claimed_at, (int, float)) else time.time(),
+                renewed.heartbeat_seq,
+                skew=skew,
+            ),
+        )
+        counter("lease.heartbeats").inc()
+        return renewed
+
+    def mark_done(self, lease: ShardLease) -> None:
+        """Record shard completion so the lease is never reclaimed."""
+        atomic_write_text(
+            lease_path(self.directory, lease.shard_id),
+            self._payload(
+                _STATUS_DONE,
+                lease.token,
+                time.time(),
+                lease.heartbeat_seq + 1,
+            ),
+        )
+
+
+class LocalPidBackend(CoordinationBackend):
+    """Single-host coordination: liveness by pid probe, TTL tiebreak."""
+
+    name = "local"
+
+    def is_stale(self, lease: Optional[Dict[str, Any]]) -> bool:
+        if lease is None:
+            return True  # corrupt or unreadable: treat as claimable
+        if lease.get("status") == _STATUS_DONE:
+            return False
+        pid = lease.get("pid")
+        if isinstance(pid, int) and not _pid_alive(pid):
+            return True
+        shared = self._common_staleness(lease, "claimed_at")
+        return False if shared is None else shared
+
+
+class HeartbeatBackend(CoordinationBackend):
+    """Shared-filesystem coordination: liveness by heartbeat renewal.
+
+    Pid probes are meaningless across hosts, so a lease is alive
+    exactly as long as its owner keeps renewing it; a missed-heartbeat
+    window of ``ttl_s`` makes it reclaimable.
+    """
+
+    name = "heartbeat"
+
+    def is_stale(self, lease: Optional[Dict[str, Any]]) -> bool:
+        if lease is None:
+            return True
+        shared = self._common_staleness(lease, "heartbeat_at")
+        return False if shared is None else shared
+
+
+def default_ttl_s(override: Optional[float] = None) -> float:
+    """The lease TTL: explicit override, else env, else the default."""
+    if override is not None:
+        return override
+    raw = os.environ.get(LEASE_TTL_ENV)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_LEASE_TTL_S
+
+
+def make_backend(
+    name: Optional[str],
+    directory: str,
+    ttl_s: Optional[float] = None,
+    owner: Optional[OwnerId] = None,
+) -> CoordinationBackend:
+    """Construct a backend by name (None/empty: env, then ``local``)."""
+    if not name:
+        name = os.environ.get(BACKEND_ENV) or "local"
+    ttl = default_ttl_s(ttl_s)
+    if name == "local":
+        return LocalPidBackend(directory, ttl_s=ttl, owner=owner)
+    if name == "heartbeat":
+        return HeartbeatBackend(directory, ttl_s=ttl, owner=owner)
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown coordination backend {name!r}; known: {BACKENDS}"
     )
 
 
-def is_stale(lease: Optional[Dict[str, Any]], ttl_s: float = DEFAULT_LEASE_TTL_S) -> bool:
-    """Whether a lease no longer protects its shard."""
-    if lease is None:
-        return True  # corrupt or unreadable: treat as claimable
-    if lease.get("status") == _STATUS_DONE:
-        return False  # finished shards are never re-claimed
-    pid = lease.get("pid")
-    if isinstance(pid, int) and not _pid_alive(pid):
-        return True
-    claimed_at = lease.get("claimed_at")
-    if not isinstance(claimed_at, (int, float)):
-        return True
-    return (time.time() - claimed_at) > ttl_s
+def read_fence_table(directory: str) -> Dict[int, int]:
+    """Current fencing token per shard, from the lease files on disk.
+
+    The merge layer uses this to reject journal lines stamped with a
+    superseded token. Shards without a readable lease simply have no
+    fence (their lines always pass — nothing ever reclaimed them).
+    """
+    table: Dict[int, int] = {}
+    pattern = os.path.join(directory, "shard-*.lease")
+    for path in glob.glob(pattern):
+        stem = os.path.basename(path)
+        try:
+            shard_id = int(stem[len("shard-") : -len(".lease")])
+        except ValueError:
+            continue
+        payload = read_lease(directory, shard_id)
+        if payload is None:
+            continue
+        token = payload.get("token")
+        if isinstance(token, int) and token > 0:
+            table[shard_id] = token
+    return table
+
+
+# -- module-level compatibility wrappers -------------------------------
+#
+# The original single-host API: claim/probe/done by directory and shard
+# id, no lease handle. Kept because the executor's first PRs (and their
+# tests) speak it; new code should hold a backend object instead.
+
+
+def is_stale(
+    lease: Optional[Dict[str, Any]], ttl_s: float = DEFAULT_LEASE_TTL_S
+) -> bool:
+    """Whether a lease no longer protects its shard (local backend)."""
+    return LocalPidBackend("", ttl_s=ttl_s).is_stale(lease)
 
 
 def try_claim(
     directory: str, shard_id: int, ttl_s: float = DEFAULT_LEASE_TTL_S
 ) -> bool:
-    """Claim the shard for this process; False when someone owns it.
-
-    First claims use exclusive creation so two live workers can never
-    both win. Stale leases (dead owner) are reclaimed by atomic
-    rewrite — the last rewriter wins, which is safe because duplicate
-    shard execution only wastes time, never corrupts results (the
-    journal deduplicates points).
-    """
-    path = lease_path(directory, shard_id)
-    try:
-        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
-    except FileExistsError:
-        existing = read_lease(directory, shard_id)
-        if not is_stale(existing, ttl_s):
-            return False
-        counter("exec.leases_reclaimed").inc()
-        atomic_write_text(path, _payload(_STATUS_CLAIMED))
-        return True
-    except OSError:
-        return False  # unwritable scratch dir: let another worker try
-    with os.fdopen(fd, "w", encoding="ascii") as handle:
-        handle.write(_payload(_STATUS_CLAIMED))
-    counter("exec.shards_claimed").inc()
-    return True
+    """Claim the shard for this process; False when someone owns it."""
+    backend = LocalPidBackend(directory, ttl_s=ttl_s)
+    return backend.try_claim(shard_id) is not None
 
 
 def mark_done(directory: str, shard_id: int) -> None:
     """Record shard completion so the lease is never reclaimed."""
-    atomic_write_text(
-        lease_path(directory, shard_id), _payload(_STATUS_DONE)
+    payload = read_lease(directory, shard_id)
+    token = 1
+    if payload is not None and isinstance(payload.get("token"), int):
+        token = payload["token"]
+    backend = LocalPidBackend(directory)
+    backend.mark_done(
+        ShardLease(shard_id=shard_id, token=token, owner=backend.owner)
     )

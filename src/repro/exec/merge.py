@@ -41,13 +41,22 @@ def load_worker_points(
     reader sees complete files, but an injected corruption fault (or a
     hostile filesystem) can still produce an unloadable journal — that
     journal contributes nothing and its points are recomputed.
+
+    Fenced by design: every load consults the lease files' current
+    fencing tokens, so a line appended by a zombie worker after its
+    shard was reclaimed (stamped with a superseded token) never reaches
+    the master journal, no matter how the zombie's write interleaved
+    with the reclaim.
     """
     from repro.runtime.checkpoint import _load_points
 
+    from repro.exec.leases import read_fence_table
+
+    fence = read_fence_table(scratch_dir)
     points: Dict[Tuple[int, int], Tuple[int, TierPoint]] = {}
     for path in _worker_journal_paths(scratch_dir):
         try:
-            loaded = _load_points(path, key)
+            loaded = _load_points(path, key, fence=fence)
         except CheckpointError:
             continue
         for n, point in loaded:
@@ -82,9 +91,11 @@ def clear_worker_artifacts(scratch_dir: str) -> None:
 
     Run between rounds so a respawned round starts with fresh leases
     (a ``done`` lease from round 1 must not block a same-numbered shard
-    of round 2) and so stale journals are never double-merged.
+    of round 2) and so stale journals are never double-merged. The
+    generation markers go too — fencing state is per-round, and merges
+    always happen before this cleanup.
     """
-    patterns = ("worker-*.journal", "shard-*.lease")
+    patterns = ("worker-*.journal", "shard-*.lease", "shard-*.gen-*")
     for pattern in patterns:
         for path in glob.glob(os.path.join(scratch_dir, pattern)):
             try:

@@ -38,9 +38,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.obs.logging import get_logger
 from repro.obs.metrics import counter
 from repro.obs.spans import span
+from repro.runtime.backoff import RESPAWN_BACKOFF
 from repro.runtime.faults import maybe_inject
 from repro.sim.results import TierPoint, TierSurface
 from repro.traces.trace import BranchTrace
+
+from repro.exec.leases import default_ttl_s
 
 from repro.exec import merge
 from repro.exec.worker import (
@@ -183,6 +186,7 @@ def run_parallel_sweep(
                 paranoid=paranoid,
                 bht_entries=bht_entries,
                 bht_assoc=bht_assoc,
+                lease_ttl_s=default_ttl_s(),
                 start_offset=(position * len(shards)) // count,
             )
             process = context.Process(
@@ -214,9 +218,10 @@ def run_parallel_sweep(
                 if not still_pending:
                     break
                 if round_index > 0:
-                    # Backoff before re-claiming a crashed round's work.
+                    # Backoff before re-claiming a crashed round's work;
+                    # jittered so simultaneous crashes do not stampede.
                     counter("retry.attempts").inc()
-                    time.sleep(min(2.0, 0.1 * (2 ** (round_index - 1))))
+                    RESPAWN_BACKOFF.sleep(round_index - 1)
                 processes = _spawn_round(round_index, still_pending)
                 while any(p.is_alive() for p in processes):
                     maybe_inject("exec.poll")

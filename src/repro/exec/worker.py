@@ -61,6 +61,9 @@ class WorkerPlan:
     #: Where this worker starts scanning the shard list; staggering the
     #: starts spreads the first-claim contention across the list.
     start_offset: int = 0
+    #: Coordination backend name (``local``/``heartbeat``); empty means
+    #: resolve from ``$REPRO_EXEC_BACKEND`` with a ``local`` default.
+    backend: str = ""
 
 
 def worker_journal_path(scratch_dir: str, worker_id: int) -> str:
@@ -136,6 +139,7 @@ def worker_main(plan: WorkerPlan) -> None:
 
 def _run_shards(plan: WorkerPlan) -> None:
     from repro.obs.metrics import counter
+    from repro.obs.report import write_metrics
     from repro.obs.spans import span
     from repro.runtime.checkpoint import CheckpointJournal
     from repro.traces.io import load_trace
@@ -143,6 +147,9 @@ def _run_shards(plan: WorkerPlan) -> None:
     from repro.exec import leases
 
     trace = load_trace(plan.trace_path)
+    backend = leases.make_backend(
+        plan.backend, plan.scratch_dir, ttl_s=plan.lease_ttl_s
+    )
     journal = CheckpointJournal.open(
         worker_journal_path(plan.scratch_dir, plan.worker_id),
         plan.journal_key,
@@ -154,11 +161,10 @@ def _run_shards(plan: WorkerPlan) -> None:
         shard_id, points = plan.shards[(position + plan.start_offset) % count]
         if stop_requested(plan.scratch_dir):
             break
-        if not leases.try_claim(
-            plan.scratch_dir, shard_id, ttl_s=plan.lease_ttl_s
-        ):
+        lease = backend.try_claim(shard_id)
+        if lease is None:
             continue
-        drained = False
+        drained = lost = False
         with span(
             "exec.shard",
             worker=plan.worker_id,
@@ -171,13 +177,36 @@ def _run_shards(plan: WorkerPlan) -> None:
                 if stop_requested(plan.scratch_dir):
                     drained = True
                     break
+                # Renew the lease before the point. If the renewal
+                # fails, the shard was reclaimed while this worker was
+                # paused — it is now a zombie and must stop: its token
+                # is superseded, so the merge layer would reject any
+                # further appends regardless.
+                renewed = backend.heartbeat(lease)
+                if renewed is None:
+                    lost = True
+                    break
+                lease = renewed
                 maybe_inject("exec.worker")
                 point = compute_point(plan, trace, n, row_bits)
-                journal.append(n, point)
+                maybe_inject("journal.append")
+                journal.append(
+                    n, point, token=lease.token, shard=shard_id
+                )
                 done.add((n, row_bits))
                 counter("sweep.points_computed").inc()
+        if lost:
+            continue
         if not drained:
-            leases.mark_done(plan.scratch_dir, shard_id)
+            backend.mark_done(lease)
+        # Incremental telemetry: snapshot after every shard (cumulative
+        # overwrite) so a worker killed mid-sweep still reports the
+        # branches its finished shards simulated. The parent absorbs
+        # each worker's file exactly once, at join.
+        try:
+            write_metrics(worker_metrics_path(plan.scratch_dir, plan.worker_id))
+        except OSError:  # pragma: no cover - scratch dir vanished
+            pass
     journal.flush()
 
 

@@ -132,6 +132,12 @@ WELL_KNOWN = {
         "exec.worker_failures",    # workers that exited without finishing
         "exec.shards_claimed",     # shard leases taken (first claims)
         "exec.leases_reclaimed",   # stale leases stolen from dead workers
+        "lease.heartbeats",        # lease renewals written by shard owners
+        "lease.fence_rejections",  # journal lines dropped: superseded token
+        "doctor.repairs",          # artifacts repaired by `repro doctor`
+        "store.evictions",         # trace-store files removed by gc/LRU
+        "chaos.scenarios",         # chaos fault scenarios executed
+        "chaos.failures",          # chaos scenarios that broke an invariant
     ),
     "gauges": (),
     "histograms": (

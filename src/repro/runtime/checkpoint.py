@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CheckpointError
 from repro.obs.metrics import counter
-from repro.runtime.faults import maybe_inject
+from repro.runtime.faults import fire_site, maybe_inject
 from repro.sim.results import TierPoint
 
 JOURNAL_VERSION = 1
@@ -109,6 +109,10 @@ class CheckpointJournal:
         self.key = key
         #: Completed points in completion order: ``[(n, TierPoint)]``.
         self.points: List[Tuple[int, TierPoint]] = []
+        #: Fencing stamps for appended points, keyed by position in
+        #: ``points``: ``{index: (token, shard)}``. Only worker journals
+        #: carry stamps; the master journal has none.
+        self._stamps: Dict[int, Tuple[int, int]] = {}
         self._dirty = False
         _OPEN_JOURNALS.add(self)
 
@@ -121,11 +125,13 @@ class CheckpointJournal:
         With ``resume=False`` any existing journal is discarded and the
         sweep starts clean. A journal written for a *different* key is
         always discarded — resuming someone else's sweep would splice
-        unrelated results together.
+        unrelated results together. A torn tail (a crash mid-write) is
+        preserved to a ``.quarantine`` sidecar and the journal resumes
+        from the last good line.
         """
         journal = cls(path, key)
         if resume and os.path.exists(path):
-            journal.points = _load_points(path, key)
+            journal.points = _load_points(path, key, quarantine=True)
         return journal
 
     # -- queries -------------------------------------------------------
@@ -139,10 +145,25 @@ class CheckpointJournal:
 
     # -- mutation ------------------------------------------------------
 
-    def append(self, n: int, point: TierPoint, flush: bool = True) -> None:
-        """Record one completed point; by default persist immediately."""
+    def append(
+        self,
+        n: int,
+        point: TierPoint,
+        flush: bool = True,
+        token: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        """Record one completed point; by default persist immediately.
+
+        Parallel workers pass their lease's fencing ``token`` and
+        ``shard`` id; the stamp rides in the journal line (CRC-covered)
+        so the merge layer can reject appends from a zombie worker
+        whose lease was reclaimed.
+        """
         maybe_inject("checkpoint.append")
         counter("checkpoint.appends").inc()
+        if token is not None and shard is not None:
+            self._stamps[len(self.points)] = (token, shard)
         self.points.append((n, point))
         self._dirty = True
         if flush:
@@ -158,14 +179,22 @@ class CheckpointJournal:
                 sort_keys=True,
             )
         ]
-        for n, point in self.points:
+        for index, (n, point) in enumerate(self.points):
             payload = _point_payload(n, point)
-            payload["crc"] = _payload_crc(_point_payload(n, point))
+            stamp = self._stamps.get(index)
+            if stamp is not None:
+                payload["token"], payload["shard"] = stamp
+            payload["crc"] = _payload_crc(dict(payload))
             lines.append(json.dumps(payload, sort_keys=True))
         text = "\n".join(lines) + "\n"
-        if maybe_inject("checkpoint.flush"):
+        fired = fire_site("checkpoint.flush")
+        if "corrupt" in fired:
             # Corruption fault: mangle the tail so loaders must cope.
             text = text[:-8] + "#corrupt"
+        elif "torn-write" in fired and len(lines) > 1:
+            # Torn-write fault: the last line stops mid-payload, as if
+            # the process died between write() and fsync().
+            text = text[: -(len(lines[-1]) // 2 + 1)]
         try:
             atomic_write_text(self.path, text)
         except OSError as exc:
@@ -194,7 +223,33 @@ def flush_open_journals() -> int:
     return flushed
 
 
-def _load_points(path: str, key: str) -> List[Tuple[int, TierPoint]]:
+def quarantine_path(path: str) -> str:
+    """The sidecar that preserves a journal's pre-repair bytes."""
+    return path + ".quarantine"
+
+
+def _quarantine(path: str, lines: List[str]) -> None:
+    """Preserve the journal's current bytes beside it for forensics."""
+    try:
+        atomic_write_text(quarantine_path(path), "\n".join(lines) + "\n")
+    except OSError:  # pragma: no cover - sidecar is best-effort
+        pass
+
+
+def _load_points(
+    path: str,
+    key: str,
+    fence: Optional[Dict[int, int]] = None,
+    quarantine: bool = False,
+) -> List[Tuple[int, TierPoint]]:
+    """Load a journal's points.
+
+    ``fence`` maps shard id to its current fencing token: lines stamped
+    with a superseded token (a zombie worker's appends after its lease
+    was reclaimed) are dropped and counted. With ``quarantine`` a torn
+    tail is preserved to a ``.quarantine`` sidecar before being
+    truncated away by the next flush.
+    """
     maybe_inject("checkpoint.load")
     try:
         with open(path, "r", encoding="ascii") as handle:
@@ -229,7 +284,12 @@ def _load_points(path: str, key: str) -> List[Tuple[int, TierPoint]]:
                     "re-run with resume disabled (--no-resume) to "
                     "start this sweep over"
                 )
+            if quarantine:
+                _quarantine(path, lines)
             break  # torn tail from an interrupted write: keep the rest
+        if fence is not None and _superseded(payload, fence):
+            counter("lease.fence_rejections").inc()
+            continue
         points.append(
             (
                 payload["n"],
@@ -243,6 +303,16 @@ def _load_points(path: str, key: str) -> List[Tuple[int, TierPoint]]:
             )
         )
     return points
+
+
+def _superseded(payload: Dict, fence: Dict[int, int]) -> bool:
+    """Whether a point line's fencing stamp is behind the fence table."""
+    token = payload.get("token")
+    shard = payload.get("shard")
+    if not isinstance(token, int) or not isinstance(shard, int):
+        return False  # unstamped line: nothing fences it
+    current = fence.get(shard)
+    return current is not None and token < current
 
 
 def _decode_point_line(line: str) -> Optional[Dict]:

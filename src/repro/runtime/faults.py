@@ -7,22 +7,31 @@ those failures deterministically instead of waiting for them.
 A fault spec is a comma-separated list of clauses::
 
     site:action            fire on every pass through ``site``
+    site:action(arg)       fire with a numeric argument
     site:action@N          fire on the N-th pass (1-based), once
     site:action%N          fire on every N-th pass
 
 Actions:
 
-* ``raise``     -- raise :class:`InjectedFault` (a ``RuntimeError``, so
+* ``raise``      -- raise :class:`InjectedFault` (a ``RuntimeError``, so
   it models a non-library engine crash);
-* ``interrupt`` -- raise ``KeyboardInterrupt`` (models Ctrl-C / kill);
-* ``corrupt``   -- no exception; callers that support corruption (the
-  checkpoint journal) flip bytes in their payload instead.
+* ``interrupt``  -- raise ``KeyboardInterrupt`` (models Ctrl-C / kill);
+* ``corrupt``    -- no exception; callers that support corruption (the
+  checkpoint journal) flip bytes in their payload instead;
+* ``delay(S)``   -- sleep ``S`` seconds in place (models a paused or
+  descheduled process — the zombie-lease window);
+* ``torn-write`` -- no exception; writer sites truncate their payload
+  mid-line instead (models a crash between ``write`` and ``fsync``);
+* ``stale-clock(S)`` -- no exception; timestamp-writing sites add ``S``
+  seconds to the wall clock they record (models clock skew).
 
-Known sites (grep for ``maybe_inject``): ``engine.vectorized``,
-``sweep.point``, ``checkpoint.append``, ``checkpoint.flush``,
-``checkpoint.load``, ``trace.save``, ``exec.worker`` (per point in a
-parallel sweep worker, outside the retry wrapper — models a worker
-crash), ``exec.poll`` (the parallel parent's poll loop).
+Known sites (grep for ``maybe_inject`` / ``fire_site``):
+``engine.vectorized``, ``sweep.point``, ``checkpoint.append``,
+``checkpoint.flush``, ``checkpoint.load``, ``trace.save``,
+``exec.worker`` (per point in a parallel sweep worker, outside the
+retry wrapper — models a worker crash), ``exec.poll`` (the parallel
+parent's poll loop), ``lease.claim``, ``lease.heartbeat``,
+``journal.append`` (a worker's point append).
 
 Specs come from the ``REPRO_FAULT_SPEC`` environment variable (read on
 every pass, so tests can monkeypatch it) or programmatically via
@@ -32,6 +41,7 @@ every pass, so tests can monkeypatch it) or programmatically via
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -40,7 +50,18 @@ from repro.errors import ConfigurationError
 #: Environment variable holding the active fault spec.
 FAULT_ENV = "REPRO_FAULT_SPEC"
 
-ACTIONS = ("raise", "interrupt", "corrupt")
+ACTIONS = (
+    "raise",
+    "interrupt",
+    "corrupt",
+    "delay",
+    "torn-write",
+    "stale-clock",
+)
+
+#: Actions that are reported to the caller (possibly with an argument)
+#: instead of raising or sleeping.
+PASSIVE_ACTIONS = ("corrupt", "torn-write", "stale-clock")
 
 
 class InjectedFault(RuntimeError):
@@ -54,10 +75,11 @@ class InjectedFault(RuntimeError):
 
 @dataclass
 class FaultClause:
-    """One ``site:action[@N|%N]`` clause."""
+    """One ``site:action[(arg)][@N|%N]`` clause."""
 
     site: str
     action: str
+    arg: Optional[float] = None
     nth: Optional[int] = None
     every: Optional[int] = None
     hits: int = 0
@@ -95,7 +117,8 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             site, action = raw.split(":", 1)
         except ValueError:
             raise ConfigurationError(
-                f"bad fault clause {raw!r}: expected 'site:action[@N|%N]'"
+                f"bad fault clause {raw!r}: expected "
+                "'site:action[(arg)][@N|%N]'"
             ) from None
         nth = every = None
         if "@" in action:
@@ -104,11 +127,23 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         elif "%" in action:
             action, _, count = action.partition("%")
             every = _parse_count(count, raw)
+        arg = None
+        if "(" in action:
+            action, _, rest = action.partition("(")
+            if not rest.endswith(")"):
+                raise ConfigurationError(
+                    f"bad fault argument in {raw!r}: unclosed '('"
+                )
+            arg = _parse_arg(rest[:-1], raw)
         if action not in ACTIONS:
             raise ConfigurationError(
                 f"bad fault action {action!r} in {raw!r}; known: {ACTIONS}"
             )
-        plan.add(FaultClause(site=site, action=action, nth=nth, every=every))
+        plan.add(
+            FaultClause(
+                site=site, action=action, arg=arg, nth=nth, every=every
+            )
+        )
     return plan
 
 
@@ -124,6 +159,15 @@ def _parse_count(text: str, clause: str) -> int:
             f"fault count must be >= 1 in clause {clause!r}"
         )
     return value
+
+
+def _parse_arg(text: str, clause: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad fault argument {text!r} in clause {clause!r}"
+        ) from None
 
 
 #: Programmatically installed plan (takes precedence over the env var).
@@ -160,18 +204,21 @@ def active_plan() -> Optional[FaultPlan]:
     return _env_cache[1]
 
 
-def maybe_inject(site: str) -> bool:
+def fire_site(site: str) -> Dict[str, float]:
     """Fire any matching fault for ``site``.
 
-    Raises for ``raise``/``interrupt`` clauses; returns True when a
-    ``corrupt`` clause fired (the caller mangles its own payload).
+    Raises for ``raise``/``interrupt`` clauses, sleeps out ``delay``
+    clauses in place, and returns the passive actions that fired
+    (``corrupt``, ``torn-write``, ``stale-clock``) mapped to their
+    argument (``0.0`` when none was given) — the caller applies those
+    to its own payload.
     """
     plan = active_plan()
     if plan is None:
-        return False
+        return {}
     from repro.obs.metrics import counter
 
-    corrupt = False
+    fired: Dict[str, float] = {}
     for clause in plan.for_site(site):
         if not clause.should_fire():
             continue
@@ -180,5 +227,24 @@ def maybe_inject(site: str) -> bool:
             raise InjectedFault(f"injected fault at {site}")
         if clause.action == "interrupt":
             raise KeyboardInterrupt(f"injected interrupt at {site}")
-        corrupt = True
-    return corrupt
+        if clause.action == "delay":
+            time.sleep(clause.arg if clause.arg is not None else 0.05)
+            continue
+        fired[clause.action] = clause.arg if clause.arg is not None else 0.0
+    return fired
+
+
+def maybe_inject(site: str) -> bool:
+    """Fire any matching fault for ``site``.
+
+    Raises for ``raise``/``interrupt`` clauses; returns True when a
+    ``corrupt`` clause fired (the caller mangles its own payload).
+    Callers that distinguish the other passive actions use
+    :func:`fire_site` directly.
+    """
+    return "corrupt" in fire_site(site)
+
+
+def clock_skew(fired: Dict[str, float]) -> float:
+    """The ``stale-clock`` offset out of a :func:`fire_site` result."""
+    return fired.get("stale-clock", 0.0)

@@ -1,0 +1,34 @@
+"""Branch traces: container, persistence, statistics, interleaving."""
+
+from repro.traces.interleave import interleave_traces
+from repro.traces.io import load_trace, save_trace
+from repro.traces.stats import (
+    FrequencyBreakdown,
+    TraceStats,
+    characterize,
+    coverage_count,
+    frequency_breakdown,
+    per_branch_counts,
+    per_branch_taken_rates,
+    run_length_counts,
+    transition_rate,
+)
+from repro.traces.trace import INSTRUCTION_BYTES, BranchTrace, TraceBuilder
+
+__all__ = [
+    "INSTRUCTION_BYTES",
+    "BranchTrace",
+    "TraceBuilder",
+    "FrequencyBreakdown",
+    "TraceStats",
+    "characterize",
+    "coverage_count",
+    "frequency_breakdown",
+    "interleave_traces",
+    "load_trace",
+    "per_branch_counts",
+    "per_branch_taken_rates",
+    "run_length_counts",
+    "save_trace",
+    "transition_rate",
+]

@@ -1,0 +1,57 @@
+"""Round-robin trace interleaving (multiprogramming model).
+
+``interleave_traces`` models context switching between programs: each
+trace contributes ``quantum`` consecutive branches in turn, and a
+trace that runs dry simply drops out of the rotation while the others
+continue. The merged trace preserves every program's internal record
+order exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.trace import BranchTrace
+
+
+def interleave_traces(
+    traces: Sequence[BranchTrace], quantum: int
+) -> BranchTrace:
+    """Merge traces by alternating ``quantum``-branch slices."""
+    if not traces:
+        raise TraceError("cannot interleave an empty list of traces")
+    if quantum < 1:
+        raise TraceError(f"interleave quantum must be >= 1, got {quantum}")
+    positions = [0] * len(traces)
+    pc_chunks: List[np.ndarray] = []
+    taken_chunks: List[np.ndarray] = []
+    target_chunks: List[np.ndarray] = []
+    remaining = True
+    while remaining:
+        remaining = False
+        for i, trace in enumerate(traces):
+            start = positions[i]
+            if start >= len(trace):
+                continue
+            stop = min(start + quantum, len(trace))
+            pc_chunks.append(trace.pc[start:stop])
+            taken_chunks.append(trace.taken[start:stop])
+            target_chunks.append(trace.target[start:stop])
+            positions[i] = stop
+            if stop < len(trace):
+                remaining = True
+    counts = [t.instruction_count for t in traces]
+    instruction_count = (
+        sum(counts) if all(c is not None for c in counts) else None
+    )
+    name = "+".join(t.name for t in traces) + f"@q{quantum}"
+    return BranchTrace(
+        pc=np.concatenate(pc_chunks),
+        taken=np.concatenate(taken_chunks),
+        target=np.concatenate(target_chunks),
+        name=name,
+        instruction_count=instruction_count,
+    )

@@ -1,0 +1,209 @@
+"""Trace characterization statistics (Tables 1 and 2 of the paper).
+
+Everything here reduces a :class:`~repro.traces.trace.BranchTrace` to
+the per-branch aggregates the paper reports: static/dynamic counts,
+frequency concentration (how few branches cover 90% of instances),
+bias, transition rates, and run-length spectra. All statistics are
+per-site — interleaved programs do not pollute each other's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.trace import BranchTrace
+
+#: The paper's Table-2 frequency buckets: the hottest branches covering
+#: 50% of dynamic instances, the next 40%, the next 9%, and the last 1%.
+DEFAULT_SHARES = (0.5, 0.4, 0.09, 0.01)
+
+
+def per_branch_counts(
+    trace: BranchTrace,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(pcs, counts)`` for every static branch, hottest first."""
+    if len(trace) == 0:
+        raise TraceError("per-branch counts of an empty trace")
+    pcs, counts = np.unique(trace.pc, return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    return pcs[order], counts[order]
+
+
+def per_branch_taken_rates(trace: BranchTrace) -> Dict[int, float]:
+    """Mapping of branch pc to its taken fraction."""
+    if len(trace) == 0:
+        raise TraceError("per-branch taken rates of an empty trace")
+    rates: Dict[int, float] = {}
+    pcs, counts = np.unique(trace.pc, return_counts=True)
+    taken_sums = np.zeros(len(pcs), dtype=np.int64)
+    index = np.searchsorted(pcs, trace.pc)
+    np.add.at(taken_sums, index, trace.taken.astype(np.int64))
+    for pc, count, taken in zip(pcs, counts, taken_sums):
+        rates[int(pc)] = float(taken) / float(count)
+    return rates
+
+
+def coverage_count(trace: BranchTrace, share: float) -> int:
+    """Minimum number of static branches covering ``share`` of instances."""
+    if not 0.0 < share <= 1.0:
+        raise TraceError(f"coverage share must be in (0, 1], got {share}")
+    _, counts = per_branch_counts(trace)
+    cumulative = np.cumsum(counts)
+    needed = share * len(trace)
+    return int(np.searchsorted(cumulative, needed - 1e-9) + 1)
+
+
+@dataclass(frozen=True)
+class FrequencyBreakdown:
+    """Partition of static branches into cumulative-frequency buckets."""
+
+    shares: Tuple[float, ...]
+    branch_counts: Tuple[int, ...]
+    total_static: int
+
+    def fractions(self) -> Tuple[float, ...]:
+        """Each bucket's share of the static branch population."""
+        return tuple(c / self.total_static for c in self.branch_counts)
+
+
+def frequency_breakdown(
+    trace: BranchTrace,
+    shares: Sequence[float] = DEFAULT_SHARES,
+) -> FrequencyBreakdown:
+    """Partition static branches by cumulative dynamic-frequency share.
+
+    Bucket ``k`` holds the branches (hottest-first) needed to go from
+    covering ``sum(shares[:k])`` of dynamic instances to covering
+    ``sum(shares[:k+1])``; buckets partition the static population.
+    """
+    shares = tuple(float(s) for s in shares)
+    if not shares or not math.isclose(sum(shares), 1.0, abs_tol=1e-9):
+        raise TraceError(
+            f"frequency shares must sum to 1, got {shares}"
+        )
+    _, counts = per_branch_counts(trace)
+    cumulative = np.cumsum(counts) / len(trace)
+    boundaries = np.cumsum(shares)
+    total = len(counts)
+    reach_prev = 0
+    buckets = []
+    for k, boundary in enumerate(boundaries):
+        if k == len(boundaries) - 1:
+            reach = total
+        else:
+            reach = int(
+                np.searchsorted(cumulative, boundary - 1e-9) + 1
+            )
+            reach = min(reach, total)
+        buckets.append(max(0, reach - reach_prev))
+        reach_prev = max(reach, reach_prev)
+    return FrequencyBreakdown(
+        shares=shares,
+        branch_counts=tuple(buckets),
+        total_static=total,
+    )
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Table-1-style summary of one trace."""
+
+    name: str
+    dynamic_instructions: int
+    dynamic_branches: int
+    branch_fraction: float
+    static_branches: int
+    branches_for_90pct: int
+    taken_rate: float
+    highly_biased_fraction: float
+
+
+def characterize(
+    trace: BranchTrace, bias_threshold: float = 0.9
+) -> TraceStats:
+    """Summarize a trace in the paper's Table-1 terms.
+
+    A branch is "highly biased" when its taken rate is at least
+    ``bias_threshold`` or at most ``1 - bias_threshold``. When the
+    trace records no instruction count, every record is counted as an
+    instruction (branch fraction 1).
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot characterize an empty trace")
+    dynamic_branches = len(trace)
+    if trace.instruction_count is not None:
+        dynamic_instructions = trace.instruction_count
+    else:
+        dynamic_instructions = dynamic_branches
+    rates = np.array(
+        list(per_branch_taken_rates(trace).values()), dtype=float
+    )
+    biased = (rates >= bias_threshold) | (rates <= 1.0 - bias_threshold)
+    return TraceStats(
+        name=trace.name,
+        dynamic_instructions=dynamic_instructions,
+        dynamic_branches=dynamic_branches,
+        branch_fraction=dynamic_branches / dynamic_instructions,
+        static_branches=trace.num_static_branches,
+        branches_for_90pct=coverage_count(trace, 0.90),
+        taken_rate=trace.taken_rate,
+        highly_biased_fraction=float(biased.mean()),
+    )
+
+
+def _per_branch_order(trace: BranchTrace) -> np.ndarray:
+    """Indices grouping records by branch, program order within a branch."""
+    return np.argsort(trace.pc, kind="stable")
+
+
+def transition_rate(trace: BranchTrace) -> float:
+    """Fraction of per-branch consecutive instances that change outcome.
+
+    The denominator counts, for every static branch, its repeat
+    instances (``count - 1``); a trace with no branch executing twice
+    has no defined rate.
+    """
+    if len(trace) < 2:
+        raise TraceError("transition rate needs at least two records")
+    order = _per_branch_order(trace)
+    pc = trace.pc[order]
+    taken = trace.taken[order]
+    same_branch = pc[1:] == pc[:-1]
+    pairs = int(same_branch.sum())
+    if pairs == 0:
+        raise TraceError(
+            "transition rate undefined: no branch executes twice"
+        )
+    changed = taken[1:] != taken[:-1]
+    return float((same_branch & changed).sum()) / pairs
+
+
+def run_length_counts(
+    trace: BranchTrace, max_length: int = 16
+) -> np.ndarray:
+    """Histogram of per-branch same-outcome run lengths.
+
+    Returns an array of ``max_length + 1`` counts where index ``L``
+    holds the number of runs of length exactly ``L``; runs longer than
+    ``max_length`` are clipped into the last bucket.
+    """
+    if len(trace) == 0:
+        raise TraceError("run lengths of an empty trace")
+    if max_length < 1:
+        raise TraceError(f"max_length must be >= 1, got {max_length}")
+    order = _per_branch_order(trace)
+    pc = trace.pc[order]
+    taken = trace.taken[order]
+    # A new run starts at index 0 and wherever the branch or the
+    # outcome differs from the previous (branch-grouped) record.
+    starts = np.ones(len(pc), dtype=bool)
+    starts[1:] = (pc[1:] != pc[:-1]) | (taken[1:] != taken[:-1])
+    start_idx = np.flatnonzero(starts)
+    lengths = np.diff(np.append(start_idx, len(pc)))
+    clipped = np.minimum(lengths, max_length)
+    return np.bincount(clipped, minlength=max_length + 1)

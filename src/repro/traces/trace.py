@@ -1,0 +1,235 @@
+"""Branch trace container.
+
+A trace is the unit of work everywhere in this repo: three parallel
+1-D arrays (``pc``, ``taken``, ``target``) plus a display name and an
+optional dynamic instruction count. The arrays are kept in the exact
+dtypes the vectorized engine indexes with (``uint64`` addresses,
+``bool`` outcomes), so a trace loaded from disk is simulation-identical
+to one built in memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+#: Byte spacing between consecutive instructions. Branch addresses are
+#: word-aligned; predictors index on ``pc >> 2`` (:meth:`word_index`),
+#: and the synthetic layout generator spaces sites in these units.
+INSTRUCTION_BYTES = 4
+
+
+def _as_1d(name: str, values: np.ndarray, dtype: type) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise TraceError(
+            f"trace array {name!r} must be 1-D, got shape {arr.shape}"
+        )
+    if arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    return arr
+
+
+def _static_target(pc: int) -> int:
+    """The (synthetic) branch target of a static site.
+
+    Targets are a pure function of the branch address so that every
+    dynamic instance of a site — across traces, runs, and processes —
+    shares one target, exactly as a real static branch would.
+    """
+    return pc + 4 * INSTRUCTION_BYTES
+
+
+class BranchTrace:
+    """Immutable-by-convention container of dynamic branch records."""
+
+    def __init__(
+        self,
+        pc: np.ndarray,
+        taken: np.ndarray,
+        target: np.ndarray,
+        name: str = "trace",
+        instruction_count: Optional[int] = None,
+    ):
+        self.pc = _as_1d("pc", pc, np.uint64)
+        self.taken = _as_1d("taken", taken, bool)
+        self.target = _as_1d("target", target, np.uint64)
+        if not (len(self.pc) == len(self.taken) == len(self.target)):
+            raise TraceError(
+                "trace arrays have mismatched array lengths: "
+                f"pc={len(self.pc)} taken={len(self.taken)} "
+                f"target={len(self.target)}"
+            )
+        self.name = name
+        self.instruction_count = (
+            None if instruction_count is None else int(instruction_count)
+        )
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Tuple[int, bool]],
+        name: str = "trace",
+        instruction_count: Optional[int] = None,
+    ) -> "BranchTrace":
+        """Build a trace from ``(pc, taken)`` pairs.
+
+        Targets are derived statically per site (see
+        :func:`_static_target`), so two records of the same pc — even
+        in different traces — carry the same target.
+        """
+        pcs = np.fromiter(
+            (int(pc) for pc, _ in records), dtype=np.uint64,
+            count=len(records),
+        )
+        taken = np.fromiter(
+            (bool(t) for _, t in records), dtype=bool, count=len(records)
+        )
+        targets = np.fromiter(
+            (_static_target(int(pc)) for pc, _ in records),
+            dtype=np.uint64,
+            count=len(records),
+        )
+        return cls(
+            pc=pcs,
+            taken=taken,
+            target=targets,
+            name=name,
+            instruction_count=instruction_count,
+        )
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    def __iter__(self) -> Iterator[Tuple[int, bool, int]]:
+        for pc, taken, target in zip(self.pc, self.taken, self.target):
+            yield int(pc), bool(taken), int(target)
+
+    def __repr__(self) -> str:
+        return (
+            f"BranchTrace(name={self.name!r}, branches={len(self)}, "
+            f"static={self.num_static_branches})"
+        )
+
+    @property
+    def num_static_branches(self) -> int:
+        """Count of distinct branch sites in the trace."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.pc).size)
+
+    @property
+    def taken_rate(self) -> float:
+        """Fraction of dynamic instances that were taken."""
+        if len(self) == 0:
+            raise TraceError("taken_rate of an empty trace is undefined")
+        return float(self.taken.mean())
+
+    def word_index(self) -> np.ndarray:
+        """Addresses with the byte offset dropped (``pc >> 2``)."""
+        return self.pc >> np.uint64(2)
+
+    def slice(self, start: int, stop: int) -> "BranchTrace":
+        """The ``[start:stop]`` window as a new trace (name annotated)."""
+        return BranchTrace(
+            pc=self.pc[start:stop],
+            taken=self.taken[start:stop],
+            target=self.target[start:stop],
+            name=f"{self.name}[{start}:{stop}]",
+            instruction_count=None,
+        )
+
+    def concat(self, other: "BranchTrace") -> "BranchTrace":
+        """This trace followed by ``other`` (back-to-back execution)."""
+        count: Optional[int] = None
+        if (
+            self.instruction_count is not None
+            and other.instruction_count is not None
+        ):
+            count = self.instruction_count + other.instruction_count
+        return BranchTrace(
+            pc=np.concatenate([self.pc, other.pc]),
+            taken=np.concatenate([self.taken, other.taken]),
+            target=np.concatenate([self.target, other.target]),
+            name=f"{self.name}+{other.name}",
+            instruction_count=count,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the pc/taken/target arrays.
+
+        Covers the full arrays (not the name), so the fingerprint is
+        collision-free across workloads, lengths, and seeds, and two
+        differently-named but bit-identical traces share one.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self.pc).tobytes())
+        digest.update(np.ascontiguousarray(self.taken).tobytes())
+        digest.update(np.ascontiguousarray(self.target).tobytes())
+        return digest.hexdigest()[:20]
+
+
+class TraceBuilder:
+    """Incremental trace assembly (append rows, then :meth:`build`)."""
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self._pc: List[np.ndarray] = []
+        self._taken: List[np.ndarray] = []
+        self._target: List[np.ndarray] = []
+        self._length = 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, pc: int, taken: bool, target: int) -> None:
+        """Add one dynamic branch record."""
+        self.extend(
+            np.array([pc], dtype=np.uint64),
+            np.array([bool(taken)]),
+            np.array([target], dtype=np.uint64),
+        )
+
+    def extend(
+        self,
+        pc: np.ndarray,
+        taken: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        """Add a block of records from parallel arrays."""
+        pc = np.asarray(pc)
+        taken = np.asarray(taken)
+        target = np.asarray(target)
+        if not (len(pc) == len(taken) == len(target)):
+            raise TraceError(
+                "extend() arrays have mismatched array lengths: "
+                f"pc={len(pc)} taken={len(taken)} target={len(target)}"
+            )
+        self._pc.append(pc.astype(np.uint64))
+        self._taken.append(taken.astype(bool))
+        self._target.append(target.astype(np.uint64))
+        self._length += len(pc)
+
+    def build(
+        self, instruction_count: Optional[int] = None
+    ) -> BranchTrace:
+        """Materialize the accumulated records as a :class:`BranchTrace`."""
+        if not self._pc:
+            return BranchTrace(
+                pc=np.empty(0, dtype=np.uint64),
+                taken=np.empty(0, dtype=bool),
+                target=np.empty(0, dtype=np.uint64),
+                name=self.name,
+                instruction_count=instruction_count,
+            )
+        return BranchTrace(
+            pc=np.concatenate(self._pc),
+            taken=np.concatenate(self._taken),
+            target=np.concatenate(self._target),
+            name=self.name,
+            instruction_count=instruction_count,
+        )

@@ -26,7 +26,7 @@ that had to generate counts ``store.misses``.
 from __future__ import annotations
 
 import os
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.obs.metrics import counter
 from repro.traces.io import load_trace, save_trace
@@ -87,6 +87,7 @@ class TraceStore:
         path = self._path(name, length, seed, trace_seed)
         if os.path.exists(path):
             counter("store.hits").inc()
+            self._touch(path)
             return load_trace(path)
         counter("store.misses").inc()
         trace = make_workload(
@@ -114,6 +115,7 @@ class TraceStore:
         path = os.path.join(self.directory, _safe_key(key) + ".npz")
         if os.path.exists(path):
             counter("store.hits").inc()
+            self._touch(path)
             return load_trace(path)
         counter("store.misses").inc()
         trace = factory()
@@ -134,6 +136,7 @@ class TraceStore:
         )
         if os.path.exists(path):
             counter("store.hits").inc()
+            self._touch(path)
             return path
         counter("store.misses").inc()
         os.makedirs(self.directory, exist_ok=True)
@@ -160,3 +163,66 @@ class TraceStore:
             for f in os.listdir(self.directory)
             if f.endswith(".npz")
         )
+
+    # -- hygiene -------------------------------------------------------
+
+    def ls(self) -> List[Dict[str, Union[str, int, float]]]:
+        """One row per stored trace: path, bytes, last-use time.
+
+        Last use is the file's mtime — loads touch it (see
+        :meth:`_touch`), so the listing doubles as the LRU order used
+        by :meth:`gc` (oldest first).
+        """
+        rows: List[Dict[str, Union[str, int, float]]] = []
+        for path in self.stored_files():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            rows.append(
+                {
+                    "path": path,
+                    "bytes": stat.st_size,
+                    "used_at": stat.st_mtime,
+                }
+            )
+        rows.sort(key=lambda row: (row["used_at"], row["path"]))
+        return rows
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by the store."""
+        return sum(int(row["bytes"]) for row in self.ls())
+
+    def gc(self, max_bytes: int) -> List[str]:
+        """Evict least-recently-used traces until the cap is met.
+
+        Returns the evicted paths. A ``max_bytes`` of 0 empties the
+        store; a cap the store already satisfies evicts nothing.
+        Everything evicted is regenerable (that is the store's
+        contract), so gc never needs confirmation.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        rows = self.ls()
+        total = sum(int(row["bytes"]) for row in rows)
+        evicted: List[str] = []
+        for row in rows:
+            if total <= max_bytes:
+                break
+            path = str(row["path"])
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= int(row["bytes"])
+            evicted.append(path)
+            counter("store.evictions").inc()
+        return evicted
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        """Refresh a file's mtime so the LRU order tracks real use."""
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - racing gc
+            pass

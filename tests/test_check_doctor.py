@@ -1,0 +1,360 @@
+"""Integrity-doctor and trace-store-hygiene tests.
+
+``repro doctor`` must detect (and with ``--repair`` fix) every way the
+on-disk state can rot: torn journal tails, corrupt entries mid-file,
+zombie lines with superseded fencing tokens, unloadable trace archives
+and fingerprint mismatches. ``repro store ls/gc/verify`` keep the trace
+cache bounded and honest.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.check.doctor import (
+    run_doctor,
+    scan_checkpoint_dir,
+    scan_journal,
+    scan_store,
+)
+from repro.cli import main
+from repro.errors import CheckError
+from repro.obs import reset_metrics, snapshot
+from repro.runtime import clear_faults
+from repro.runtime.checkpoint import CheckpointJournal, quarantine_path
+from repro.sim.results import TierPoint
+from repro.traces.io import save_trace
+from repro.workloads.registry import make_workload
+from repro.workloads.store import TraceStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_STORE", raising=False)
+    clear_faults()
+    reset_metrics()
+    yield
+    clear_faults()
+    reset_metrics()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("compress", length=500, seed=4)
+
+
+def _point(row_bits):
+    return TierPoint(
+        col_bits=4 - row_bits,
+        row_bits=row_bits,
+        misprediction_rate=0.1 + row_bits / 100.0,
+        first_level_miss_rate=None,
+    )
+
+
+def _journal(path, n_points=3, token=None, shard=None):
+    journal = CheckpointJournal.open(str(path), "doctor-key", resume=False)
+    for row_bits in range(n_points):
+        journal.append(4, _point(row_bits), token=token, shard=shard)
+    return journal
+
+
+def checks_of(findings):
+    return [f.check for f in findings]
+
+
+class TestScanJournal:
+    def test_healthy_journal_is_ok(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _journal(path)
+        findings = scan_journal(str(path))
+        assert checks_of(findings) == ["doctor.journal-ok"]
+        assert "3 completed" in findings[0].why
+
+    def test_missing_and_empty(self, tmp_path):
+        assert checks_of(scan_journal(str(tmp_path / "nope.journal"))) == [
+            "doctor.journal-missing"
+        ]
+        empty = tmp_path / "empty.journal"
+        empty.write_text("")
+        assert checks_of(scan_journal(str(empty))) == [
+            "doctor.journal-empty"
+        ]
+
+    def test_key_mismatch_is_warning(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _journal(path)
+        findings = scan_journal(str(path), key="other-key")
+        assert checks_of(findings) == ["doctor.journal-key"]
+        assert findings[0].severity == "warning"
+
+    def test_torn_tail_is_warning_mid_file_is_error(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _journal(path)
+        lines = path.read_text().splitlines()
+        # Torn tail: truncate the last line.
+        path.write_text("\n".join(lines[:-1] + [lines[-1][:10]]) + "\n")
+        findings = scan_journal(str(path))
+        assert any(
+            f.check == "doctor.journal-line" and f.severity == "warning"
+            for f in findings
+        )
+        # Mid-file corruption: mangle an interior line.
+        lines[2] = lines[2][:-4] + "beef"
+        path.write_text("\n".join(lines) + "\n")
+        findings = scan_journal(str(path))
+        assert any(
+            f.check == "doctor.journal-line" and f.severity == "error"
+            for f in findings
+        )
+
+    def test_superseded_token_is_error(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        journal = CheckpointJournal.open(
+            str(path), "doctor-key", resume=False
+        )
+        journal.append(4, _point(0), token=2, shard=0)
+        journal.append(4, _point(1), token=1, shard=0)  # zombie line
+        journal.append(4, _point(2), token=2, shard=0)
+        findings = scan_journal(str(path))
+        fence = [f for f in findings if f.check == "doctor.journal-fence"]
+        assert len(fence) == 1 and fence[0].severity == "error"
+        assert "superseded" in fence[0].why
+
+    def test_repair_truncates_and_quarantines(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _journal(path)
+        original = path.read_text()
+        lines = original.splitlines()
+        lines[2] = lines[2][:-4] + "beef"
+        path.write_text("\n".join(lines) + "\n")
+        before = snapshot()["counters"]["doctor.repairs"]
+        findings = scan_journal(str(path), repair=True)
+        assert "doctor.journal-repaired" in checks_of(findings)
+        assert snapshot()["counters"]["doctor.repairs"] == before + 1
+        # The original bytes survive in the sidecar; the repaired
+        # journal reloads cleanly with the bad point dropped.
+        sidecar = quarantine_path(str(path))
+        assert os.path.exists(sidecar)
+        reloaded = CheckpointJournal.open(
+            str(path), "doctor-key", resume=True
+        )
+        assert reloaded.completed() == {(4, 0), (4, 2)}
+        assert checks_of(scan_journal(str(path))) == ["doctor.journal-ok"]
+
+    def test_repair_removes_unrecoverable_header(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _journal(path)
+        content = path.read_text().splitlines()
+        path.write_text("not json\n" + "\n".join(content[1:]) + "\n")
+        findings = scan_journal(str(path), repair=True)
+        assert "doctor.journal-header" in checks_of(findings)
+        assert not os.path.exists(path)
+        assert os.path.exists(quarantine_path(str(path)))
+
+    def test_scan_checkpoint_dir(self, tmp_path):
+        _journal(tmp_path / "a.journal")
+        _journal(tmp_path / "b.journal")
+        findings = scan_checkpoint_dir(str(tmp_path))
+        assert checks_of(findings) == [
+            "doctor.journal-ok",
+            "doctor.journal-ok",
+        ]
+        assert checks_of(scan_checkpoint_dir(str(tmp_path / "void"))) == [
+            "doctor.no-journals"
+        ]
+
+
+class TestScanStore:
+    def test_healthy_store_verifies(self, tmp_path, trace):
+        store = TraceStore(str(tmp_path))
+        store.put(trace)
+        findings = scan_store(str(tmp_path))
+        assert checks_of(findings) == ["doctor.store-ok"]
+        assert "1/1" in findings[0].why
+
+    def test_corrupt_archive_detected_and_quarantined(
+        self, tmp_path, trace
+    ):
+        store = TraceStore(str(tmp_path))
+        path = store.put(trace)
+        with open(path, "wb") as handle:
+            handle.write(b"this is not an npz")
+        findings = scan_store(str(tmp_path))
+        assert "doctor.store-corrupt" in checks_of(findings)
+        findings = scan_store(str(tmp_path), repair=True)
+        assert "doctor.store-repaired" in checks_of(findings)
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".quarantine")
+        # A quarantined entry regenerates transparently on next use.
+        assert store.put(trace) == path
+
+    def test_fingerprint_mismatch_detected(self, tmp_path, trace):
+        other = make_workload("compress", length=400, seed=9)
+        wrong = os.path.join(
+            str(tmp_path), f"fp-{trace.fingerprint()}.npz"
+        )
+        save_trace(other, wrong)
+        findings = scan_store(str(tmp_path))
+        assert "doctor.store-fingerprint" in checks_of(findings)
+        scan_store(str(tmp_path), repair=True)
+        assert not os.path.exists(wrong)
+
+    def test_empty_store_is_fine(self, tmp_path):
+        assert checks_of(scan_store(str(tmp_path))) == [
+            "doctor.store-empty"
+        ]
+
+
+class TestRunDoctor:
+    def test_requires_a_target(self):
+        with pytest.raises(CheckError):
+            run_doctor()
+
+    def test_aggregates_passes(self, tmp_path, trace):
+        _journal(tmp_path / "a.journal")
+        store_dir = tmp_path / "store"
+        TraceStore(str(store_dir)).put(trace)
+        report = run_doctor(
+            journals=(str(tmp_path / "a.journal"),),
+            checkpoint_dir=str(tmp_path),
+            store_dir=str(store_dir),
+        )
+        assert report.exit_code(strict=False) == 0
+
+    def test_exit_one_on_findings(self, tmp_path):
+        path = tmp_path / "bad.journal"
+        _journal(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-4] + "beef"
+        path.write_text("\n".join(lines) + "\n")
+        report = run_doctor(journals=(str(path),))
+        assert report.exit_code(strict=False) == 1
+
+
+class TestStoreHygiene:
+    def _fill(self, tmp_path, count=3):
+        store = TraceStore(str(tmp_path))
+        for seed in range(count):
+            store.get("compress", 300, seed=seed)
+        return store
+
+    def test_ls_reports_lru_order_and_sizes(self, tmp_path):
+        store = self._fill(tmp_path)
+        rows = store.ls()
+        assert len(rows) == 3
+        assert all(row["bytes"] > 0 for row in rows)
+        used = [row["used_at"] for row in rows]
+        assert used == sorted(used)
+        # A load refreshes recency: the oldest entry moves to the back.
+        oldest = rows[0]["path"]
+        os.utime(oldest, (0, 0))
+        assert store.ls()[0]["path"] == oldest
+        store.get("compress", 300, seed=0)
+        reordered = store.ls()
+        hit = [r for r in reordered if "s0" in str(r["path"])]
+        assert reordered[-1]["path"] == hit[0]["path"]
+
+    def test_gc_evicts_lru_until_cap(self, tmp_path):
+        store = self._fill(tmp_path)
+        rows = store.ls()
+        keep = int(rows[-1]["bytes"])
+        before = snapshot()["counters"]["store.evictions"]
+        evicted = store.gc(keep)
+        assert evicted == [str(rows[0]["path"]), str(rows[1]["path"])]
+        assert store.total_bytes() <= keep
+        assert snapshot()["counters"]["store.evictions"] == before + 2
+        assert store.gc(keep) == []  # already under the cap
+
+    def test_gc_zero_empties_negative_rejected(self, tmp_path):
+        store = self._fill(tmp_path, count=2)
+        with pytest.raises(ValueError):
+            store.gc(-1)
+        assert len(store.gc(0)) == 2
+        assert store.total_bytes() == 0
+
+
+class TestDoctorCli:
+    def test_doctor_checkpoint_dir_clean(self, tmp_path, capsys):
+        _journal(tmp_path / "a.journal")
+        code = main(["doctor", "--checkpoint-dir", str(tmp_path)])
+        assert code == 0
+        assert "doctor.journal-ok" in capsys.readouterr().out
+
+    def test_doctor_repair_restores_journal_and_store(
+        self, tmp_path, trace, capsys
+    ):
+        # The acceptance scenario: one corrupted journal and one
+        # corrupted store artifact; `repro doctor --repair` leaves both
+        # healthy on a second scan.
+        journal_path = tmp_path / "sweep.journal"
+        _journal(journal_path)
+        lines = journal_path.read_text().splitlines()
+        lines[2] = lines[2][:-4] + "beef"
+        journal_path.write_text("\n".join(lines) + "\n")
+        store_dir = tmp_path / "store"
+        store = TraceStore(str(store_dir))
+        artifact = store.put(trace)
+        with open(artifact, "wb") as handle:
+            handle.write(b"rot")
+        code = main(
+            [
+                "doctor",
+                "--checkpoint-dir",
+                str(tmp_path),
+                "--store",
+                str(store_dir),
+                "--repair",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 1  # findings were present (and repaired)
+        code = main(
+            [
+                "doctor",
+                "--checkpoint-dir",
+                str(tmp_path),
+                "--store",
+                str(store_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "doctor.journal-ok" in out
+
+    def test_doctor_json_output(self, tmp_path, capsys):
+        _journal(tmp_path / "a.journal")
+        code = main(
+            ["doctor", "--checkpoint-dir", str(tmp_path), "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+
+    def test_store_cli_ls_gc_verify(self, tmp_path, capsys):
+        store = TraceStore(str(tmp_path))
+        for seed in range(2):
+            store.get("compress", 300, seed=seed)
+        assert main(["store", "ls", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "total: 2 trace(s)" in out
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "store",
+                    "gc",
+                    "--max-bytes",
+                    "0",
+                    "--store",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 evicted" in out
+        assert store.total_bytes() == 0

@@ -1,0 +1,386 @@
+"""Coordination-backend and fencing tests.
+
+The tentpole contract: shard leases are pluggable (pid-probe locally,
+heartbeat renewal on shared filesystems), every claim/reclaim mints a
+monotonically increasing fencing token, and the merge layer rejects
+journal lines stamped with a superseded token — so a paused-and-resumed
+zombie worker can never corrupt results, only waste its own time.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import leases, merge
+from repro.exec.leases import (
+    CLOCK_SKEW_ALLOWANCE_S,
+    HeartbeatBackend,
+    LocalPidBackend,
+    OwnerId,
+    ShardLease,
+    default_ttl_s,
+    lease_path,
+    make_backend,
+    read_fence_table,
+)
+from repro.exec.worker import WorkerPlan, compute_point
+from repro.obs import reset_metrics, snapshot
+from repro.runtime import clear_faults, install_faults
+from repro.runtime.checkpoint import CheckpointJournal, atomic_write_text
+from repro.sim.sweep import sweep_tiers
+from repro.workloads.registry import make_workload
+from repro.workloads.store import TraceStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+    monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_LEASE_TTL_S", raising=False)
+    clear_faults()
+    reset_metrics()
+    yield
+    clear_faults()
+    reset_metrics()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("compress", length=2_000, seed=2)
+
+
+def counters():
+    return snapshot()["counters"]
+
+
+class TestBackendSelection:
+    def test_make_backend_by_name(self, tmp_path):
+        assert isinstance(
+            make_backend("local", str(tmp_path)), LocalPidBackend
+        )
+        assert isinstance(
+            make_backend("heartbeat", str(tmp_path)), HeartbeatBackend
+        )
+
+    def test_env_selects_backend(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "heartbeat")
+        assert isinstance(
+            make_backend(None, str(tmp_path)), HeartbeatBackend
+        )
+        assert isinstance(
+            make_backend("", str(tmp_path)), HeartbeatBackend
+        )
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            make_backend("zookeeper", str(tmp_path))
+
+    def test_ttl_resolution(self, monkeypatch):
+        assert default_ttl_s(1.5) == 1.5
+        monkeypatch.setenv("REPRO_LEASE_TTL_S", "2.5")
+        assert default_ttl_s() == 2.5
+        monkeypatch.setenv("REPRO_LEASE_TTL_S", "nonsense")
+        assert default_ttl_s() == leases.DEFAULT_LEASE_TTL_S
+
+
+class TestFencingTokens:
+    def test_first_claim_mints_token_one(self, tmp_path):
+        backend = HeartbeatBackend(str(tmp_path))
+        lease = backend.try_claim(0)
+        assert lease is not None and lease.token == 1
+        assert read_fence_table(str(tmp_path)) == {0: 1}
+
+    def test_live_lease_is_not_reclaimable(self, tmp_path):
+        a = HeartbeatBackend(str(tmp_path), ttl_s=600.0)
+        b = HeartbeatBackend(str(tmp_path), ttl_s=600.0)
+        assert a.try_claim(0) is not None
+        assert b.try_claim(0) is None
+
+    def test_reclaims_mint_monotonic_tokens(self, tmp_path):
+        a = HeartbeatBackend(str(tmp_path), ttl_s=0.0)
+        assert a.try_claim(0).token == 1
+        for expected in (2, 3, 4):
+            lease = HeartbeatBackend(str(tmp_path), ttl_s=0.0).try_claim(0)
+            assert lease is not None and lease.token == expected
+        assert read_fence_table(str(tmp_path)) == {0: 4}
+
+    def test_corrupt_lease_does_not_reset_tokens(self, tmp_path):
+        a = HeartbeatBackend(str(tmp_path), ttl_s=0.0)
+        assert a.try_claim(0).token == 1
+        assert HeartbeatBackend(str(tmp_path), ttl_s=0.0).try_claim(0).token == 2
+        # Mangle the lease file: the generation markers still carry the
+        # high-water mark, so the next token must be 3, not 2 again.
+        atomic_write_text(lease_path(str(tmp_path), 0), "garbage\n")
+        lease = HeartbeatBackend(str(tmp_path), ttl_s=0.0).try_claim(0)
+        assert lease is not None and lease.token == 3
+
+    def test_nonce_readback_rejects_raced_write(self, tmp_path, monkeypatch):
+        stale_dir = str(tmp_path)
+        HeartbeatBackend(stale_dir, ttl_s=0.0).try_claim(0)
+        reclaimer = HeartbeatBackend(stale_dir, ttl_s=0.0)
+        real_write = leases.atomic_write_text
+
+        def raced_write(path, text):
+            real_write(path, text)
+            if path == lease_path(stale_dir, 0):
+                # A concurrent reclaimer replaces our payload between
+                # our write and our readback.
+                payload = json.loads(text)
+                payload["nonce"] = "someone-else"
+                real_write(path, json.dumps(payload) + "\n")
+
+        monkeypatch.setattr(leases, "atomic_write_text", raced_write)
+        before = counters()["exec.leases_reclaimed"]
+        assert reclaimer.try_claim(0) is None
+        assert counters()["exec.leases_reclaimed"] == before
+
+
+class TestStaleness:
+    def _write_lease(self, directory, shard_id, **overrides):
+        payload = {
+            "backend": "heartbeat",
+            "host": "h",
+            "pid": os.getpid(),
+            "nonce": "abc",
+            "status": "claimed",
+            "token": 1,
+            "claimed_at": time.time(),
+            "heartbeat_at": time.time(),
+            "heartbeat_seq": 0,
+        }
+        payload.update(overrides)
+        atomic_write_text(
+            lease_path(directory, shard_id), json.dumps(payload) + "\n"
+        )
+        return payload
+
+    def test_heartbeat_expiry_makes_stale(self, tmp_path):
+        backend = HeartbeatBackend(str(tmp_path), ttl_s=0.5)
+        self._write_lease(
+            str(tmp_path), 0, heartbeat_at=time.time() - 1.0
+        )
+        assert backend.is_stale(leases.read_lease(str(tmp_path), 0))
+
+    def test_fresh_heartbeat_is_honored(self, tmp_path):
+        backend = HeartbeatBackend(str(tmp_path), ttl_s=600.0)
+        self._write_lease(str(tmp_path), 0)
+        assert not backend.is_stale(leases.read_lease(str(tmp_path), 0))
+
+    def test_future_dated_lease_is_stale(self, tmp_path):
+        # A clock skewed far into the future must never *extend* a
+        # lease; beyond the small allowance the lease is reclaimable.
+        future = time.time() + CLOCK_SKEW_ALLOWANCE_S + 60.0
+        self._write_lease(
+            str(tmp_path), 0, heartbeat_at=future, claimed_at=future
+        )
+        lease = leases.read_lease(str(tmp_path), 0)
+        assert HeartbeatBackend(str(tmp_path), ttl_s=600.0).is_stale(lease)
+        assert LocalPidBackend(str(tmp_path), ttl_s=600.0).is_stale(lease)
+
+    def test_small_future_skew_is_tolerated(self, tmp_path):
+        near = time.time() + CLOCK_SKEW_ALLOWANCE_S / 2.0
+        self._write_lease(
+            str(tmp_path), 0, heartbeat_at=near, claimed_at=near
+        )
+        lease = leases.read_lease(str(tmp_path), 0)
+        assert not HeartbeatBackend(str(tmp_path), ttl_s=600.0).is_stale(lease)
+
+    def test_done_lease_never_stale(self, tmp_path):
+        self._write_lease(
+            str(tmp_path),
+            0,
+            status="done",
+            heartbeat_at=time.time() - 9_999.0,
+        )
+        lease = leases.read_lease(str(tmp_path), 0)
+        assert not HeartbeatBackend(str(tmp_path), ttl_s=0.0).is_stale(lease)
+
+    def test_missing_stamp_is_stale(self, tmp_path):
+        self._write_lease(str(tmp_path), 0, heartbeat_at="not-a-number")
+        assert HeartbeatBackend(str(tmp_path), ttl_s=600.0).is_stale(
+            leases.read_lease(str(tmp_path), 0)
+        )
+
+    def test_stale_clock_fault_future_dates_the_claim(self, tmp_path):
+        install_faults("lease.claim:stale-clock(600)")
+        skewed = HeartbeatBackend(str(tmp_path), ttl_s=600.0)
+        assert skewed.try_claim(0) is not None
+        clear_faults()
+        # The skewed host recorded a timestamp 10 minutes ahead; an
+        # unskewed peer treats the lease as stale and reclaims it.
+        peer = HeartbeatBackend(str(tmp_path), ttl_s=600.0)
+        lease = peer.try_claim(0)
+        assert lease is not None and lease.token == 2
+
+
+class TestHeartbeat:
+    def test_heartbeat_renews_and_numbers(self, tmp_path):
+        backend = HeartbeatBackend(str(tmp_path))
+        lease = backend.try_claim(0)
+        before = counters()["lease.heartbeats"]
+        renewed = backend.heartbeat(lease)
+        assert renewed is not None and renewed.heartbeat_seq == 1
+        renewed = backend.heartbeat(renewed)
+        assert renewed.heartbeat_seq == 2
+        payload = leases.read_lease(str(tmp_path), 0)
+        assert payload["heartbeat_seq"] == 2
+        assert counters()["lease.heartbeats"] == before + 2
+
+    def test_heartbeat_after_reclaim_reports_loss(self, tmp_path):
+        owner = HeartbeatBackend(str(tmp_path), ttl_s=0.0)
+        lease = owner.try_claim(0)
+        thief = HeartbeatBackend(str(tmp_path), ttl_s=0.0)
+        assert thief.try_claim(0) is not None
+        assert owner.heartbeat(lease) is None
+
+    def test_heartbeat_on_vanished_lease_reports_loss(self, tmp_path):
+        backend = HeartbeatBackend(str(tmp_path))
+        lease = backend.try_claim(0)
+        os.remove(lease_path(str(tmp_path), 0))
+        assert backend.heartbeat(lease) is None
+
+
+class TestFencedMerge:
+    """The acceptance scenario: a shard lease reclaimed mid-shard (the
+    owner paused by a ``delay`` fault) leaves the zombie's stamped
+    appends fenced out of the merge, and results stay byte-identical
+    to a serial run."""
+
+    def test_zombie_appends_are_fenced_and_results_identical(
+        self, trace, tmp_path
+    ):
+        serial = sweep_tiers("gas", trace, size_bits=[4])
+        reference = {
+            (4, p.row_bits): (
+                p.col_bits,
+                p.row_bits,
+                p.misprediction_rate,
+                p.aliasing_rate,
+                p.first_level_miss_rate,
+            )
+            for p in serial.tiers[4]
+        }
+        points = sorted(reference)
+
+        scratch = str(tmp_path / "scratch")
+        os.makedirs(scratch)
+        store = TraceStore(os.path.join(scratch, "traces"))
+        plan = WorkerPlan(
+            worker_id=0,
+            scheme="gas",
+            trace_path=store.put(trace),
+            shards=(),
+            scratch_dir=scratch,
+            journal_key="fence-test",
+        )
+
+        def journal_for(worker_id):
+            return CheckpointJournal.open(
+                os.path.join(scratch, f"worker-{worker_id:04d}.journal"),
+                "fence-test",
+                resume=True,
+            )
+
+        # Worker A claims the shard and journals two stamped points.
+        a = HeartbeatBackend(scratch, ttl_s=0.05)
+        lease_a = a.try_claim(0)
+        assert lease_a.token == 1
+        journal_a = journal_for(0)
+        for n, row_bits in points[:2]:
+            point = compute_point(plan, trace, n, row_bits)
+            journal_a.append(n, point, token=lease_a.token, shard=0)
+
+        # A is descheduled past its TTL (the delay fault), and B
+        # reclaims the shard mid-flight with the next fencing token.
+        install_faults("exec.worker:delay(0.08)")
+        from repro.runtime.faults import maybe_inject
+
+        maybe_inject("exec.worker")
+        clear_faults()
+        b = HeartbeatBackend(scratch, ttl_s=0.05)
+        lease_b = b.try_claim(0)
+        assert lease_b is not None and lease_b.token == 2
+        journal_b = journal_for(1)
+        for n, row_bits in points:
+            point = compute_point(plan, trace, n, row_bits)
+            journal_b.append(n, point, token=lease_b.token, shard=0)
+        b.mark_done(lease_b)
+
+        # The zombie wakes and appends one more point with its stale
+        # token, then discovers the loss at its next heartbeat.
+        n, row_bits = points[2]
+        point = compute_point(plan, trace, n, row_bits)
+        journal_a.append(n, point, token=lease_a.token, shard=0)
+        assert a.heartbeat(lease_a) is None
+
+        # Merge: every token-1 line is fenced; B's full shard survives
+        # and reproduces the serial results exactly.
+        before = counters()["lease.fence_rejections"]
+        merged = merge.load_worker_points(scratch, "fence-test")
+        assert counters()["lease.fence_rejections"] == before + 3
+        assert sorted(merged) == points
+        for key, (n, point) in merged.items():
+            assert reference[key] == (
+                point.col_bits,
+                point.row_bits,
+                point.misprediction_rate,
+                point.aliasing_rate,
+                point.first_level_miss_rate,
+            )
+
+    def test_unstamped_lines_are_never_fenced(self, tmp_path, trace):
+        # Pre-fencing journals (and the master journal) carry no
+        # token/shard stamps; the fence must pass them through.
+        scratch = str(tmp_path)
+        backend = HeartbeatBackend(scratch, ttl_s=0.0)
+        backend.try_claim(0)
+        HeartbeatBackend(scratch, ttl_s=0.0).try_claim(0)  # fence at 2
+        journal = CheckpointJournal.open(
+            os.path.join(scratch, "worker-0000.journal"), "k", resume=True
+        )
+        plan = WorkerPlan(
+            worker_id=0,
+            scheme="gshare",
+            trace_path="",
+            shards=(),
+            scratch_dir=scratch,
+            journal_key="k",
+        )
+        point = compute_point(plan, trace, 4, 0)
+        journal.append(4, point)  # no stamp
+        merged = merge.load_worker_points(scratch, "k")
+        assert (4, 0) in merged
+
+
+class TestWorkerZombiePath:
+    def test_worker_abandons_reclaimed_shard(self, tmp_path, trace):
+        """Drive ``_run_shards`` directly: the owner's heartbeat fails
+        after a reclaim, so it abandons the shard without mark_done."""
+        from repro.exec.worker import _run_shards
+
+        scratch = str(tmp_path)
+        store = TraceStore(os.path.join(scratch, "traces"))
+        trace_path = store.put(trace)
+        # Claim the shard out from under the worker-to-be by an owner
+        # whose nonce the worker can never renew.
+        backend = HeartbeatBackend(scratch, ttl_s=600.0)
+        other = backend.try_claim(0)
+        assert other is not None
+        plan = WorkerPlan(
+            worker_id=7,
+            scheme="gshare",
+            trace_path=trace_path,
+            shards=((0, ((4, 0), (4, 1))),),
+            scratch_dir=scratch,
+            journal_key="z",
+            lease_ttl_s=600.0,
+            backend="heartbeat",
+        )
+        _run_shards(plan)  # cannot claim: lease is live -> no points
+        merged = merge.load_worker_points(scratch, "z")
+        assert merged == {}
+        payload = leases.read_lease(scratch, 0)
+        assert payload["status"] == "claimed"  # never marked done

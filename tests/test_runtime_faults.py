@@ -417,3 +417,152 @@ class TestAtomicTraceSave:
         loaded = load_trace(path)
         assert np.array_equal(loaded.pc, trace.pc)
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestFaultGrammarExtensions:
+    def test_parse_arguments_and_new_actions(self):
+        plan = parse_fault_spec(
+            "a:delay(0.5)@2,b:stale-clock(-60),c:torn-write%3"
+        )
+        assert plan.for_site("a")[0].arg == 0.5
+        assert plan.for_site("a")[0].nth == 2
+        assert plan.for_site("b")[0].arg == -60.0
+        assert plan.for_site("c")[0].action == "torn-write"
+
+    @pytest.mark.parametrize(
+        "spec", ["x:delay(0.5", "x:delay(abc)", "x:stale-clock()"]
+    )
+    def test_bad_arguments_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec(spec)
+
+    def test_fire_site_returns_passive_actions(self):
+        from repro.runtime.faults import clock_skew, fire_site
+
+        install_faults("s:torn-write(3),s:stale-clock(-9)")
+        fired = fire_site("s")
+        assert fired == {"torn-write": 3.0, "stale-clock": -9.0}
+        assert clock_skew(fired) == -9.0
+        assert clock_skew({}) == 0.0
+
+    def test_delay_sleeps_in_place(self, monkeypatch):
+        from repro.runtime import faults
+
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        install_faults("s:delay(0.25)")
+        assert faults.fire_site("s") == {}
+        assert slept == [0.25]
+
+    def test_maybe_inject_stays_boolean(self):
+        install_faults("s:torn-write")
+        assert maybe_inject("s") is False  # torn-write is not corrupt
+        install_faults("s:corrupt")
+        assert maybe_inject("s") is True
+
+
+class TestBackoffPolicy:
+    def test_deterministic_schedule_and_cap(self):
+        from repro.runtime.backoff import BackoffPolicy
+
+        policy = BackoffPolicy(base_delay=0.05, factor=2.0, max_delay=0.2)
+        assert [policy.delay_for(i) for i in range(5)] == [
+            0.05, 0.1, 0.2, 0.2, 0.2,
+        ]
+
+    def test_jitter_bounds(self):
+        import random
+
+        from repro.runtime.backoff import BackoffPolicy
+
+        policy = BackoffPolicy(
+            base_delay=1.0, factor=1.0, max_delay=1.0, jitter=0.5
+        )
+        rng = random.Random(0)
+        for _ in range(50):
+            delay = policy.delay_for(0, rng=rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_invalid_policies_rejected(self):
+        from repro.runtime.backoff import BackoffPolicy
+
+        with pytest.raises(SimulationError):
+            BackoffPolicy(base_delay=-1.0)
+        with pytest.raises(SimulationError):
+            BackoffPolicy(jitter=1.5)
+        with pytest.raises(SimulationError):
+            BackoffPolicy().delay_for(-1)
+
+    def test_sleep_invokes_callable(self):
+        from repro.runtime.backoff import BackoffPolicy
+
+        slept = []
+        policy = BackoffPolicy(base_delay=0.05, factor=2.0, max_delay=2.0)
+        policy.sleep(1, sleep=slept.append)
+        assert slept == [0.1]
+
+
+class TestTornWriteRecovery:
+    def test_torn_flush_resumes_and_recomputes_only_lost_point(
+        self, trace, tmp_path
+    ):
+        """Satellite: a torn final flush loses exactly the tail point;
+        the next run quarantines the torn bytes, restores every intact
+        point, and recomputes only the lost one — bit-identically."""
+        from repro.obs import snapshot
+
+        serial = sweep_tiers("gshare", trace, size_bits=[4])
+
+        # Probe how many flushes a clean checkpointed run performs so
+        # the fault can tear exactly the last one.
+        probe_dir = tmp_path / "probe"
+        before = snapshot()["counters"]["checkpoint.flushes"]
+        sweep_tiers(
+            "gshare", trace, size_bits=[4], checkpoint_dir=str(probe_dir)
+        )
+        flushes = snapshot()["counters"]["checkpoint.flushes"] - before
+
+        victim_dir = tmp_path / "victim"
+        install_faults(f"checkpoint.flush:torn-write@{flushes}")
+        sweep_tiers(
+            "gshare", trace, size_bits=[4], checkpoint_dir=str(victim_dir)
+        )
+        clear_faults()
+
+        before = snapshot()["counters"]
+        resumed = sweep_tiers(
+            "gshare", trace, size_bits=[4], checkpoint_dir=str(victim_dir)
+        )
+        after = snapshot()["counters"]
+        assert after["sweep.points_computed"] - before["sweep.points_computed"] == 1
+        assert after["sweep.points_restored"] - before["sweep.points_restored"] == 4
+        # The torn bytes were preserved to a sidecar at open.
+        quarantines = [
+            name
+            for name in os.listdir(victim_dir)
+            if name.endswith(".quarantine")
+        ]
+        assert len(quarantines) == 1
+        assert surface_cells(resumed) == surface_cells(serial)
+
+    def test_torn_journal_passes_doctor_after_repair(self, trace, tmp_path):
+        from repro.check.doctor import scan_checkpoint_dir
+        from repro.obs import snapshot
+
+        probe_dir = tmp_path / "probe"
+        before = snapshot()["counters"]["checkpoint.flushes"]
+        sweep_tiers(
+            "gshare", trace, size_bits=[4], checkpoint_dir=str(probe_dir)
+        )
+        flushes = snapshot()["counters"]["checkpoint.flushes"] - before
+
+        victim_dir = tmp_path / "victim"
+        install_faults(f"checkpoint.flush:torn-write@{flushes}")
+        sweep_tiers(
+            "gshare", trace, size_bits=[4], checkpoint_dir=str(victim_dir)
+        )
+        clear_faults()
+        findings = scan_checkpoint_dir(str(victim_dir), repair=True)
+        assert any(f.check == "doctor.journal-repaired" for f in findings)
+        findings = scan_checkpoint_dir(str(victim_dir))
+        assert all(f.severity == "info" for f in findings)
