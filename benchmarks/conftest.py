@@ -110,6 +110,8 @@ def regenerate(benchmark):
     record its throughput in the perf trajectory."""
 
     def runner(experiment_id: str, options: ExperimentOptions):
+        from repro.obs.ledger import record_run
+
         reset_metrics()
         started = time.perf_counter()
         result = benchmark.pedantic(
@@ -121,11 +123,23 @@ def regenerate(benchmark):
         wall_s = time.perf_counter() - started
         counters = snapshot()["counters"]
         branches = counters.get("sim.branches", 0)
+        engine = _engine_label(counters)
+        branches_per_sec = branches / wall_s if wall_s else 0.0
         emit_bench_record(
             experiment_id,
-            branches_per_sec=branches / wall_s if wall_s else 0.0,
+            branches_per_sec=branches_per_sec,
             wall_s=wall_s,
-            engine=_engine_label(counters),
+            engine=engine,
+        )
+        # Cross-run history: the ledger keeps every run (BENCH_sweep
+        # only the latest), with explicit harness timings — the bench
+        # timer brackets more than engine wall time.
+        record_run(
+            experiment_id,
+            branches_per_sec=branches_per_sec,
+            wall_s=wall_s,
+            engine=engine,
+            workers=getattr(options, "workers", 1),
         )
         print()
         result.show()

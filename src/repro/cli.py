@@ -125,6 +125,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "pruned count is logged"
         ),
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "instrument the simulator's hot stages (trace decode, "
+            "index stream, fsm scan, counter update, checkpoint flush) "
+            "into sim.phase.* histograms; render them with "
+            "`repro obs summarize --phases`"
+        ),
+    )
+    run.add_argument(
+        "--dashboard",
+        action="store_true",
+        help=(
+            "with --workers N: render a live per-worker fleet table "
+            "(shards, points/s, stragglers) on stderr while polling"
+        ),
+    )
 
     check = sub.add_parser(
         "check",
@@ -425,14 +443,97 @@ def _build_parser() -> argparse.ArgumentParser:
         help="treat warnings as blocking (exit 1), not just errors",
     )
 
-    obs = sub.add_parser("obs", help="inspect saved telemetry files")
+    obs = sub.add_parser(
+        "obs", help="inspect saved telemetry and the cross-run ledger"
+    )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
         "summarize",
         help="pretty-print a --metrics-out JSON or --trace-out JSONL file",
     )
     summarize.add_argument("path", help="metrics or span-trace file")
+    summarize.add_argument(
+        "--phases",
+        action="store_true",
+        help="render the --profile phase breakdown (sim.phase.* vs "
+        "sim.wall_s) instead of the full summary",
+    )
+
+    history = obs_sub.add_parser(
+        "history",
+        help="list runs recorded in the ledger (newest last)",
+    )
+    history.add_argument(
+        "--bench", default=None, help="only this bench/experiment"
+    )
+    history.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most the N most recent rows (0 = all)",
+    )
+    history.add_argument(
+        "--json", action="store_true",
+        help="emit the matching ledger rows as a JSON list",
+    )
+    _add_ledger_option(history)
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="compare latest per-bench throughput between two git revs",
+    )
+    diff.add_argument("rev1", help="baseline git revision (short rev)")
+    diff.add_argument("rev2", help="candidate git revision (short rev)")
+    diff.add_argument("--bench", default=None)
+    diff.add_argument("--json", action="store_true")
+    _add_ledger_option(diff)
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="gate the newest run of each bench against its ledger "
+        "history (exit 1 on a throughput regression)",
+    )
+    regress.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="flag drops of more than PCT%% vs the baseline median "
+        "(default: 10)",
+    )
+    regress.add_argument(
+        "--baseline-window", type=int, default=5, metavar="K",
+        help="baseline = median of the last K prior runs (default: 5)",
+    )
+    regress.add_argument("--bench", default=None)
+    regress.add_argument(
+        "--json", action="store_true",
+        help="emit findings in the `repro check --json` schema",
+    )
+    _add_ledger_option(regress)
+
+    export_prom = obs_sub.add_parser(
+        "export-prom",
+        help="write a Prometheus textfile snapshot of the live/saved "
+        "metrics (and latest per-bench ledger gauges)",
+    )
+    export_prom.add_argument("path", help="textfile to write")
+    export_prom.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="export a saved run_metrics.json instead of the live "
+        "registry",
+    )
+    export_prom.add_argument(
+        "--with-ledger", action="store_true",
+        help="append latest-per-bench throughput gauges from the ledger",
+    )
+    _add_ledger_option(export_prom)
     return parser
+
+
+def _add_ledger_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="ledger file (default: $REPRO_LEDGER or ~/.repro/"
+        "ledger.jsonl)",
+    )
 
 
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
@@ -454,6 +555,16 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="write completed telemetry spans to PATH as JSON lines",
+    )
+    parser.add_argument(
+        "--trace-out-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help=(
+            "--trace-out format: streaming JSON lines (default) or a "
+            "Chrome trace_event JSON written at exit (loadable in "
+            "Perfetto / chrome://tracing)"
+        ),
     )
     parser.add_argument(
         "--metrics-out",
@@ -504,7 +615,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = get_tracer()
     tracer.reset()
     trace_out = getattr(args, "trace_out", None)
-    if trace_out:
+    trace_out_format = getattr(args, "trace_out_format", "jsonl")
+    if trace_out and trace_out_format == "jsonl":
+        # chrome format is written from the in-memory span tree at
+        # exit instead of streamed line by line.
         tracer.configure_sink(trace_out)
     try:
         code = _dispatch(args)
@@ -527,7 +641,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         code = 128 + 13
     finally:
-        if trace_out:
+        if trace_out and trace_out_format == "chrome":
+            try:
+                from repro.obs.export import write_chrome_trace
+
+                write_chrome_trace(trace_out, tracer)
+            except OSError as error:  # pragma: no cover - disk trouble
+                diag.error("error: cannot write chrome trace: %s", error)
+        elif trace_out:
             tracer.close_sink()
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
@@ -564,10 +685,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "obs":
-        from repro.obs.report import summarize_path
-
-        print(summarize_path(args.path))
-        return 0
+        return _dispatch_obs(args)
 
     if args.command == "run":
         from repro.experiments.base import (
@@ -577,6 +695,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         from repro.experiments.runner import run_experiment
 
+        from repro.obs.profile import disable_profiling, enable_profiling
+
+        if args.profile:
+            enable_profiling()
+        else:
+            disable_profiling()
         on_point = None
         if args.progress:
             from repro.obs.progress import ProgressReporter
@@ -595,11 +719,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_size=args.shard_size,
             plan_from_estimate=args.plan_from_estimate,
+            dashboard=args.dashboard,
         )
         result = run_experiment(args.experiment, options)
         result.show()
         if args.export:
             _export_result(result, args.export)
+        # Cross-run ledger: every successful run appends one row
+        # (disable by exporting an empty $REPRO_LEDGER).
+        from repro.obs.ledger import record_run
+
+        record_run(args.experiment, workers=args.workers)
         return 0
 
     if args.command == "check":
@@ -792,6 +922,106 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _ledger_entries(args) -> list:
+    """Load the ledger addressed by ``--ledger``/$REPRO_LEDGER."""
+    from repro.obs.ledger import load_entries, resolve_ledger_path
+
+    path = resolve_ledger_path(args.ledger)
+    if path is None:
+        raise ReproError(
+            "the run ledger is disabled ($REPRO_LEDGER is empty); pass "
+            "--ledger PATH to read a specific file"
+        )
+    entries, bad = load_entries(path)
+    if bad:
+        from repro.obs import get_logger
+
+        get_logger("repro.cli").warning(
+            "ledger %s: skipped %d corrupt line(s) %s; run a ledger "
+            "append (or `repro doctor`) to quarantine them",
+            path,
+            len(bad),
+            bad[:5],
+        )
+    return entries
+
+
+def _dispatch_obs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.obs_command == "summarize":
+        from repro.obs.report import summarize_path
+
+        print(summarize_path(args.path, phases=args.phases))
+        return 0
+
+    if args.obs_command == "history":
+        from repro.obs.ledger import render_history
+
+        entries = _ledger_entries(args)
+        if args.json:
+            selected = [
+                e for e in entries
+                if args.bench is None or e.get("bench") == args.bench
+            ]
+            if args.limit:
+                selected = selected[-args.limit:]
+            print(_json.dumps(selected, indent=2, sort_keys=True))
+        else:
+            print(render_history(entries, bench=args.bench, limit=args.limit))
+        return 0
+
+    if args.obs_command == "diff":
+        from repro.obs.ledger import diff_rows, render_diff
+
+        entries = _ledger_entries(args)
+        if args.json:
+            print(
+                _json.dumps(
+                    diff_rows(entries, args.rev1, args.rev2, args.bench),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(render_diff(entries, args.rev1, args.rev2, args.bench))
+        return 0
+
+    if args.obs_command == "regress":
+        from repro.check.runner import render
+        from repro.obs.ledger import regress_report
+
+        report = regress_report(
+            _ledger_entries(args),
+            threshold_pct=args.threshold,
+            baseline_window=args.baseline_window,
+            bench=args.bench,
+        )
+        print(render(report, as_json=args.json, strict=False))
+        return report.exit_code(strict=False)
+
+    if args.obs_command == "export-prom":
+        from repro.obs.export import write_prometheus
+
+        snapshot = None
+        if args.metrics:
+            try:
+                with open(args.metrics, "r", encoding="ascii") as handle:
+                    snapshot = _json.load(handle)
+            except (OSError, ValueError) as exc:
+                raise ReproError(
+                    f"cannot read metrics file {args.metrics!r}: {exc}"
+                ) from exc
+        ledger_entries = _ledger_entries(args) if args.with_ledger else None
+        write_prometheus(
+            args.path, snapshot=snapshot, ledger_entries=ledger_entries
+        )
+        print(f"[wrote Prometheus textfile to {args.path}]")
+        return 0
+
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _export_result(result, path: str) -> None:

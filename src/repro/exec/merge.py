@@ -104,6 +104,43 @@ def clear_worker_artifacts(scratch_dir: str) -> None:
                 pass
 
 
+def worker_progress(scratch_dir: str) -> Dict[int, Dict[str, int]]:
+    """Per-worker landed-point and shard counts, for the dashboard.
+
+    Parses each ``worker-NNNN.journal`` with the same tolerant line
+    decoder the checkpoint loader uses: torn or corrupt lines (and
+    unreadable journals) contribute nothing, so a live tail mid-append
+    can never break the poll loop. Shards are counted as distinct
+    ``shard`` stamps on valid lines.
+    """
+    from repro.runtime.checkpoint import _decode_point_line
+
+    progress: Dict[int, Dict[str, int]] = {}
+    for path in _worker_journal_paths(scratch_dir):
+        stem = os.path.basename(path)
+        try:
+            wid = int(stem[len("worker-"): -len(".journal")])
+        except ValueError:
+            continue
+        points = 0
+        shards = set()
+        try:
+            with open(path, "r", encoding="ascii", errors="replace") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            lines = []
+        for line in lines[1:]:  # line 0 is the journal header
+            payload = _decode_point_line(line)
+            if payload is None:
+                continue
+            points += 1
+            shard = payload.get("shard")
+            if shard is not None:
+                shards.add(shard)
+        progress[wid] = {"points": points, "shards": len(shards)}
+    return progress
+
+
 def absorb_worker_reports(scratch_dir: str) -> int:
     """Merge saved per-worker metrics files into this process's
     registry and tracer; returns how many reports were absorbed.
@@ -127,9 +164,22 @@ def absorb_worker_reports(scratch_dir: str) -> int:
             continue
         if not isinstance(report, dict):
             continue
-        for name, value in (report.get("counters") or {}).items():
-            if isinstance(value, (int, float)) and value > 0:
-                REGISTRY.counter(name).inc(value)
+        counters = report.get("counters") or {}
+        for name, value in counters.items():
+            if not isinstance(value, (int, float)) or value <= 0:
+                continue
+            if name == "sim.wall_s":
+                # Workers run concurrently: summing their engine wall
+                # times into the parent's sim.wall_s would overstate
+                # elapsed time N-fold and understate branches/sec.
+                # Worker engine seconds are CPU time from the parent's
+                # point of view; the parent accounts elapsed wall
+                # itself around the poll loop. (Reports that predate
+                # sim.cpu_s fold wall into cpu here instead.)
+                if not counters.get("sim.cpu_s"):
+                    REGISTRY.counter("sim.cpu_s").inc(value)
+                continue
+            REGISTRY.counter(name).inc(value)
         for name, summary in (report.get("histograms") or {}).items():
             if isinstance(summary, dict):
                 REGISTRY.histogram(name).absorb(summary)

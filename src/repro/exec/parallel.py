@@ -29,14 +29,17 @@ with all completed work resumable, exactly as in the serial path.
 
 from __future__ import annotations
 
+import glob
 import math
 import os
 import shutil
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.dashboard import FleetDashboard
 from repro.obs.logging import get_logger
 from repro.obs.metrics import counter
+from repro.obs.profile import profiling_enabled
 from repro.obs.spans import span
 from repro.runtime.backoff import RESPAWN_BACKOFF
 from repro.runtime.faults import maybe_inject
@@ -115,12 +118,15 @@ def run_parallel_sweep(
     on_point: Optional[Callable[[TierPoint, int, int], None]] = None,
     completed: int = 0,
     total: int = 0,
+    dashboard: bool = False,
 ) -> int:
     """Execute ``pending`` points across ``workers`` processes.
 
     Mutates ``surface`` and ``journal`` in place; returns the updated
     ``completed`` count. ``interrupt`` is the sweep's already-installed
     :class:`~repro.runtime.deadline.CooperativeInterrupt`.
+    ``dashboard=True`` renders the live fleet table on stderr from the
+    poll loop (stdout and all results are unaffected).
     """
     from repro.workloads.store import TraceStore
 
@@ -128,6 +134,17 @@ def run_parallel_sweep(
     scratch = journal.path + ".exec"
     os.makedirs(scratch, exist_ok=True)
     clear_stop(scratch)
+
+    fleet = FleetDashboard(f"{scheme} x{workers}") if dashboard else None
+
+    # Elapsed-wall accounting: workers report their engine seconds as
+    # sim.cpu_s (absorb_worker_reports keeps worker sim.wall_s out of
+    # the parent's), so the parent owns sim.wall_s — this region's
+    # elapsed time, minus whatever its own in-process engine calls
+    # (serial fallback, salvage re-computes) already contributed.
+    wall_counter = counter("sim.wall_s")
+    own_engine_before = wall_counter.value
+    region_started = time.perf_counter()
 
     pending_set = set(pending)
     landed: Dict[PointKey, TierPoint] = {}
@@ -188,6 +205,7 @@ def run_parallel_sweep(
                 bht_assoc=bht_assoc,
                 lease_ttl_s=default_ttl_s(),
                 start_offset=(position * len(shards)) // count,
+                profile=profiling_enabled(),
             )
             process = context.Process(
                 target=worker_main, args=(plan,), daemon=True
@@ -229,6 +247,20 @@ def run_parallel_sweep(
                     if deadline is not None:
                         deadline.check(f"parallel sweep({scheme})")
                     _poll_progress()
+                    if fleet is not None and fleet.due():
+                        fleet.update(
+                            merge.worker_progress(scratch),
+                            done=completed,
+                            total=total,
+                            fence_rejections=int(
+                                counter("lease.fence_rejections").value
+                            ),
+                            shards_total=len(
+                                glob.glob(
+                                    os.path.join(scratch, "shard-*.lease")
+                                )
+                            ),
+                        )
                     time.sleep(POLL_INTERVAL_S)
                 for process in processes:
                     process.join()
@@ -293,6 +325,12 @@ def run_parallel_sweep(
         journal.flush()
         shutil.rmtree(scratch, ignore_errors=True)
         raise
+    finally:
+        if fleet is not None:
+            fleet.finish()
+        own_engine = wall_counter.value - own_engine_before
+        elapsed = time.perf_counter() - region_started
+        wall_counter.inc(max(0.0, elapsed - own_engine))
     journal.flush()
     shutil.rmtree(scratch, ignore_errors=True)
     return completed

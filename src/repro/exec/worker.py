@@ -64,6 +64,9 @@ class WorkerPlan:
     #: Coordination backend name (``local``/``heartbeat``); empty means
     #: resolve from ``$REPRO_EXEC_BACKEND`` with a ``local`` default.
     backend: str = ""
+    #: Mirror of the parent's ``--profile``: phase histograms land in
+    #: this worker's metrics snapshot and merge at join.
+    profile: bool = False
 
 
 def worker_journal_path(scratch_dir: str, worker_id: int) -> str:
@@ -107,10 +110,16 @@ def worker_main(plan: WorkerPlan) -> None:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
+    from repro.obs.profile import disable_profiling, enable_profiling
+
     tracer = get_tracer()
     tracer.abandon_sink()  # a fork inherits the parent's open sink
     tracer.reset()
     reset_metrics()
+    # Profiling state is inherited over fork; start from the plan's.
+    disable_profiling()
+    if plan.profile:
+        enable_profiling()
     tracer.configure_sink(worker_spans_path(plan.scratch_dir, plan.worker_id))
     log = get_logger("repro.exec")
     failed = False

@@ -42,6 +42,8 @@ class ExperimentOptions:
     sweep points across processes (see :mod:`repro.exec`; the CLI's
     ``--workers``/``--shard-size``), and ``plan_from_estimate`` skips
     points below a predicted-delta threshold (``--plan-from-estimate``).
+    ``dashboard`` renders the live fleet table on stderr for parallel
+    sweeps (``--dashboard``; see :mod:`repro.obs.dashboard`).
     """
 
     length: int = DEFAULT_LENGTH
@@ -56,6 +58,7 @@ class ExperimentOptions:
     workers: int = 1
     shard_size: Optional[int] = None
     plan_from_estimate: Optional[float] = None
+    dashboard: bool = False
 
     def sweep_kwargs(self) -> Dict[str, Any]:
         """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
@@ -68,6 +71,7 @@ class ExperimentOptions:
             "workers": self.workers,
             "shard_size": self.shard_size,
             "plan_from_estimate": self.plan_from_estimate,
+            "dashboard": self.dashboard,
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:

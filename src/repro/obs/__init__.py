@@ -19,8 +19,26 @@ verbosity are opt-in via the CLI flags ``--trace-out``,
 ``--metrics-out``, ``--progress``, and ``--log-level``.
 """
 
+from repro.obs.dashboard import FleetDashboard
+from repro.obs.export import (
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    load_entries,
+    note_sweep_key,
+    record_run,
+    regress_report,
+    render_diff,
+    render_history,
+    resolve_ledger_path,
+)
 from repro.obs.logging import get_logger, setup_logging, teardown_logging
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     REGISTRY,
     Counter,
     Gauge,
@@ -32,10 +50,17 @@ from repro.obs.metrics import (
     reset_metrics,
     snapshot,
 )
+from repro.obs.profile import (
+    disable_profiling,
+    enable_profiling,
+    phase,
+    profiling_enabled,
+)
 from repro.obs.progress import ProgressReporter
 from repro.obs.report import (
     METRICS_SCHEMA,
     collect,
+    render_phases,
     render_summary,
     summarize_path,
     write_metrics,
@@ -50,6 +75,25 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "FleetDashboard",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_prometheus",
+    "LEDGER_SCHEMA",
+    "load_entries",
+    "note_sweep_key",
+    "record_run",
+    "regress_report",
+    "render_diff",
+    "render_history",
+    "resolve_ledger_path",
+    "BUCKET_BOUNDS",
+    "disable_profiling",
+    "enable_profiling",
+    "phase",
+    "profiling_enabled",
+    "render_phases",
     "get_logger",
     "setup_logging",
     "teardown_logging",

@@ -16,8 +16,9 @@ key, which keeps downstream tooling free of existence checks.
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 Number = Union[int, float]
 
@@ -52,10 +53,30 @@ class Gauge:
         self.value = value
 
 
-class Histogram:
-    """Streaming count/sum/min/max summary of observed values."""
+#: Fixed log-spaced histogram bucket *upper bounds*: four per decade
+#: from 1e-7 to 1e4 (seconds-scale and branches/sec-scale observations
+#: both land inside the span). Fixed bounds are what make worker
+#: histograms mergeable: two processes bucketing independently produce
+#: bucket counts that add, so :meth:`Histogram.absorb` preserves the
+#: distribution instead of collapsing it to count/mean/min/max.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** (k / 4.0) for k in range(-28, 17)
+)
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+class Histogram:
+    """Streaming summary with fixed log-spaced distribution buckets.
+
+    Beyond count/sum/min/max, every observation lands in one of the
+    :data:`BUCKET_BOUNDS` buckets (plus an overflow bucket), so
+    :meth:`summary` can report bucketed percentile estimates
+    (``p50``/``p90``/``p99``) and :meth:`absorb` can merge worker
+    histograms without losing the shape of the distribution — the
+    fleet-dashboard straggler detector keys off exactly that merged
+    tail.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -64,45 +85,102 @@ class Histogram:
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: Sparse bucket counts: index into :data:`BUCKET_BOUNDS` (or
+        #: ``len(BUCKET_BOUNDS)`` for overflow) -> observation count.
+        self.buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The bucket whose upper bound first covers ``value``."""
+        return bisect.bisect_left(BUCKET_BOUNDS, value)
 
     def observe(self, value: Number) -> None:
         value = float(value)
+        index = self.bucket_index(value)
         with self._lock:
             self.count += 1
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
 
-    def summary(self) -> Dict[str, Optional[float]]:
-        return {
-            "count": self.count,
-            "total": self.total,
-            "mean": self.total / self.count if self.count else 0.0,
-            "min": self.min,
-            "max": self.max,
-        }
+    def _percentile(self, q: float) -> Optional[float]:
+        """Bucketed estimate of the q-quantile (upper-bound biased).
 
-    def absorb(self, summary: Dict[str, Optional[float]]) -> None:
+        Returns the upper bound of the bucket containing the target
+        rank, clamped to the observed ``[min, max]`` — exact at the
+        edges, within one log-bucket (~78%) elsewhere.
+        """
+        if not self.count:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        bound = self.max
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    bound = BUCKET_BOUNDS[index]
+                break
+        assert bound is not None and self.min is not None and self.max is not None
+        return min(max(bound, self.min), self.max)
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "mean": self.total / self.count if self.count else 0.0,
+                "min": self.min,
+                "max": self.max,
+                "p50": self._percentile(0.50),
+                "p90": self._percentile(0.90),
+                "p99": self._percentile(0.99),
+                "buckets": [
+                    [index, self.buckets[index]]
+                    for index in sorted(self.buckets)
+                ],
+            }
+
+    def absorb(self, summary: Dict[str, object]) -> None:
         """Merge another histogram's :meth:`summary` into this one.
 
         The parallel executor uses this at join time to fold each
         worker's saved histogram state into the parent registry, so the
-        merged ``run_metrics.json`` covers the whole sweep.
+        merged ``run_metrics.json`` covers the whole sweep. Bucket
+        counts add (both sides bucket against the same fixed
+        :data:`BUCKET_BOUNDS`), so the merged percentiles describe the
+        whole fleet; a summary without buckets (older format) still
+        merges its count/total/min/max.
         """
-        count = int(summary.get("count") or 0)
+        count = int(summary.get("count") or 0)  # type: ignore[arg-type]
         if count <= 0:
             return
         lo = summary.get("min")
         hi = summary.get("max")
+        pairs = summary.get("buckets")
         with self._lock:
             self.count += count
-            self.total += float(summary.get("total") or 0.0)
+            self.total += float(summary.get("total") or 0.0)  # type: ignore[arg-type]
             if lo is not None:
-                lo = float(lo)
+                lo = float(lo)  # type: ignore[arg-type]
                 self.min = lo if self.min is None else min(self.min, lo)
             if hi is not None:
-                hi = float(hi)
+                hi = float(hi)  # type: ignore[arg-type]
                 self.max = hi if self.max is None else max(self.max, hi)
+            if isinstance(pairs, list):
+                for pair in pairs:
+                    if (
+                        isinstance(pair, (list, tuple))
+                        and len(pair) == 2
+                        and isinstance(pair[0], int)
+                        and isinstance(pair[1], int)
+                    ):
+                        index, n = pair
+                        if 0 <= index <= len(BUCKET_BOUNDS) and n > 0:
+                            self.buckets[index] = (
+                                self.buckets.get(index, 0) + n
+                            )
 
 
 #: Instruments every run reports, declared up front so snapshots have a
@@ -138,11 +216,20 @@ WELL_KNOWN = {
         "store.evictions",         # trace-store files removed by gc/LRU
         "chaos.scenarios",         # chaos fault scenarios executed
         "chaos.failures",          # chaos scenarios that broke an invariant
+        "sim.cpu_s",               # engine seconds summed across processes
+        "exec.stragglers",         # workers flagged slower than fleet P90
     ),
     "gauges": (),
     "histograms": (
         "engine.branches_per_sec",  # per-engine-call throughput
         "sweep.point_s",            # wall seconds per computed sweep point
+        # Phase profiler (repro.obs.profile; populated under --profile):
+        "sim.phase.trace_decode",     # trace load/generation seconds
+        "sim.phase.index_stream",     # counter-index stream computation
+        "sim.phase.fsm_scan",         # segmented automaton scan passes
+        "sim.phase.counter_update",   # sort/scatter around the scan
+        "sim.phase.checkpoint_flush", # journal rewrite+rename seconds
+        "sim.phase.engine_other",     # engine wall not covered above
     ),
 }
 

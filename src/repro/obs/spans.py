@@ -139,6 +139,11 @@ class SpanTracer:
 
     # -- queries -------------------------------------------------------
 
+    @property
+    def origin(self) -> float:
+        """The ``perf_counter`` instant all span starts are relative to."""
+        return self._origin
+
     def aggregates(self) -> Dict[str, Dict[str, float]]:
         """Per-name timing summary: count / total / mean / min / max."""
         with self._lock:

@@ -195,8 +195,11 @@ class CheckpointJournal:
             # Torn-write fault: the last line stops mid-payload, as if
             # the process died between write() and fsync().
             text = text[: -(len(lines[-1]) // 2 + 1)]
+        from repro.obs.profile import phase
+
         try:
-            atomic_write_text(self.path, text)
+            with phase("checkpoint_flush"):
+                atomic_write_text(self.path, text)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot write checkpoint journal {self.path!r}: {exc}"

@@ -29,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.profile import phase
 from repro.predictors.counters import (
     counter_init_state,
     counter_outputs,
@@ -63,6 +64,16 @@ def scan_automaton(
     ``(T,)`` uint8 array: the automaton's state immediately before
     consuming each input (i.e. the state a predictor would read).
     """
+    with phase("fsm_scan"):
+        return _scan_automaton(transitions, inputs, segment_ids, init_state)
+
+
+def _scan_automaton(
+    transitions: np.ndarray,
+    inputs: np.ndarray,
+    segment_ids: np.ndarray,
+    init_state: int,
+) -> np.ndarray:
     transitions = np.asarray(transitions, dtype=np.uint8)
     if transitions.ndim != 2:
         raise ConfigurationError("transitions must be 2-D (inputs x states)")
@@ -123,23 +134,29 @@ def segmented_counter_predictions(
     simulation would produce. Equivalent to driving
     :class:`repro.predictors.counters.CounterBank` access by access.
     """
-    idx = np.asarray(idx)
-    taken = np.asarray(taken, dtype=bool)
-    if idx.shape != taken.shape:
-        raise ConfigurationError("idx and taken must have the same shape")
-    if init_state < 0:
-        init_state = counter_init_state(counter_bits)
+    # The profiled phases here are disjoint on purpose: the sort/gather
+    # before the scan and the output scatter after it report as
+    # ``counter_update``, while ``scan_automaton`` times itself as
+    # ``fsm_scan`` — so phase totals add instead of double-counting.
+    with phase("counter_update"):
+        idx = np.asarray(idx)
+        taken = np.asarray(taken, dtype=bool)
+        if idx.shape != taken.shape:
+            raise ConfigurationError("idx and taken must have the same shape")
+        if init_state < 0:
+            init_state = counter_init_state(counter_bits)
 
-    order = np.argsort(idx, kind="stable")
-    sorted_idx = idx[order]
-    sorted_taken = taken[order]
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        sorted_taken = taken[order]
     states = scan_automaton(
         transitions=counter_transitions(counter_bits),
         inputs=sorted_taken.astype(np.uint8),
         segment_ids=sorted_idx,
         init_state=init_state,
     )
-    outputs = counter_outputs(counter_bits)
-    predictions = np.empty(len(idx), dtype=bool)
-    predictions[order] = outputs[states]
+    with phase("counter_update"):
+        outputs = counter_outputs(counter_bits)
+        predictions = np.empty(len(idx), dtype=bool)
+        predictions[order] = outputs[states]
     return predictions

@@ -117,6 +117,11 @@ def _open_sweep_journal(
         bht_assoc=bht_assoc,
         row_bits_filter=row_bits_filter,
     )
+    # The run ledger stamps its entry with every sweep key the run
+    # touched, so ledger rows can be joined back to journals.
+    from repro.obs.ledger import note_sweep_key
+
+    note_sweep_key(key)
     try:
         retry_with_backoff(
             lambda: os.makedirs(checkpoint_dir, exist_ok=True)
@@ -205,6 +210,7 @@ def sweep_tiers(
     workers: int = 1,
     shard_size: Optional[int] = None,
     plan_from_estimate: Optional[float] = None,
+    dashboard: bool = False,
 ) -> TierSurface:
     """Simulate every (columns x rows) split of every requested tier.
 
@@ -254,6 +260,10 @@ def sweep_tiers(
         When set, skip points whose statically predicted dealiasing
         delta (:mod:`repro.check.estimator`) is below this threshold;
         the pruned count is logged and counted, never silent.
+    dashboard:
+        Render the live fleet table on stderr while workers run
+        (``repro run --dashboard``); ignored for serial sweeps.
+        Results are unaffected.
     """
     from repro.runtime.deadline import CooperativeInterrupt
     from repro.runtime.faults import maybe_inject
@@ -359,6 +369,7 @@ def sweep_tiers(
                         on_point=on_point,
                         completed=completed,
                         total=total,
+                        dashboard=dashboard,
                     )
                 # Workers land points in completion order; re-impose
                 # the serial plan order so surfaces are identical.

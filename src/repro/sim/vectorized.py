@@ -38,6 +38,7 @@ from repro.predictors.specs import (
     counter_index,
     word_index,
 )
+from repro.obs.profile import phase
 from repro.sim.fsm_scan import scan_automaton, segmented_counter_predictions
 from repro.sim.results import SimulationResult
 from repro.traces.trace import BranchTrace
@@ -237,6 +238,11 @@ def index_stream(spec: PredictorSpec, trace: BranchTrace) -> np.ndarray:
     spec layer (:func:`repro.predictors.specs.counter_index`) so the
     static checker proves bounds on the same formula the engines run.
     """
+    with phase("index_stream"):
+        return _index_stream(spec, trace)
+
+
+def _index_stream(spec: PredictorSpec, trace: BranchTrace) -> np.ndarray:
     scheme = spec.scheme
     words = word_index(trace.pc)
     row_mask = spec.rows - 1

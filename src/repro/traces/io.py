@@ -152,12 +152,17 @@ def _load_text(path: str) -> BranchTrace:
 
 def load_trace(path: PathLike) -> BranchTrace:
     """Read a trace saved by :func:`save_trace` (either format)."""
+    from repro.obs.profile import phase
+
     text = os.fspath(path)
     if not os.path.exists(text):
         raise TraceError(f"no trace file at {text!r}")
-    if text.endswith(".txt"):
-        return _load_text(text)
-    try:
-        return _load_npz(text)
-    except (OSError, ValueError) as exc:
-        raise TraceError(f"cannot read trace archive {text!r}: {exc}") from exc
+    with phase("trace_decode"):
+        if text.endswith(".txt"):
+            return _load_text(text)
+        try:
+            return _load_npz(text)
+        except (OSError, ValueError) as exc:
+            raise TraceError(
+                f"cannot read trace archive {text!r}: {exc}"
+            ) from exc

@@ -136,9 +136,47 @@ class TestMetrics:
         for v in (1.0, 3.0, 2.0):
             h.observe(v)
         summary = registry.snapshot()["histograms"]["h"]
-        assert summary == {
-            "count": 3, "total": 6.0, "mean": 2.0, "min": 1.0, "max": 3.0,
-        }
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        # Bucketed percentiles are upper-bound estimates clamped to the
+        # observed range; every observation landed in a real bucket.
+        assert 1.0 <= summary["p50"] <= summary["p90"] <= summary["p99"] <= 3.0
+        assert sum(n for _, n in summary["buckets"]) == 3
+
+    def test_histogram_percentiles_spread(self):
+        from repro.obs.metrics import BUCKET_BOUNDS, Histogram
+
+        h = Histogram("h")
+        for v in [0.001] * 90 + [10.0] * 10:
+            h.observe(v)
+        summary = h.summary()
+        # p50 sits in the low mode, p99 in the high tail; the bucketed
+        # estimate is within one log-spaced bucket of the true value.
+        assert summary["p50"] <= BUCKET_BOUNDS[Histogram.bucket_index(0.001)]
+        assert summary["p99"] >= 1.0
+        assert summary["min"] == 0.001 and summary["max"] == 10.0
+
+    def test_histogram_absorb_merges_buckets(self):
+        from repro.obs.metrics import Histogram
+
+        a = Histogram("a")
+        b = Histogram("b")
+        for v in (0.01, 0.02, 0.03):
+            a.observe(v)
+        for v in (5.0, 6.0, 7.0):
+            b.observe(v)
+        a.absorb(b.summary())
+        merged = a.summary()
+        assert merged["count"] == 6
+        assert merged["min"] == 0.01 and merged["max"] == 7.0
+        # The distribution survives the merge: the median stays near the
+        # low half while p99 reflects the absorbed tail.
+        assert merged["p50"] < 1.0
+        assert merged["p99"] > 1.0
+        assert sum(n for _, n in merged["buckets"]) == 6
 
     def test_gauge_and_reset(self):
         registry = MetricsRegistry()
@@ -377,3 +415,97 @@ class TestCliTelemetry:
         )
         assert code == EXIT_ERROR
         assert "cannot write metrics" in capsys.readouterr().err
+
+
+class TestCollectExtras:
+    def test_extras_namespaced_under_extra(self):
+        report = collect(extra={"experiment": "fig2", "note": 1})
+        assert report["extra"] == {"experiment": "fig2", "note": 1}
+        assert "experiment" not in report  # never a top-level key
+
+    def test_reserved_keys_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError) as excinfo:
+            collect(extra={"counters": {}, "schema": "x", "ok": 1})
+        assert "counters" in str(excinfo.value)
+        assert "schema" in str(excinfo.value)
+
+    def test_no_extra_key_without_extras(self):
+        assert "extra" not in collect()
+        assert "extra" not in collect(extra={})
+
+    def test_render_summary_shows_extras(self):
+        text = render_summary(collect(extra={"experiment": "fig2"}))
+        assert "extra" in text and "fig2" in text
+
+
+class TestDerivedRates:
+    """The wall/cpu split behind ``derived.branches_per_sec``."""
+
+    def test_serial_wall_equals_cpu(self, trace):
+        sweep_tiers("gas", trace, size_bits=[4])
+        derived = collect()["derived"]
+        assert derived["sim_wall_s"] > 0
+        assert derived["sim_cpu_s"] == pytest.approx(derived["sim_wall_s"])
+        assert derived["branches_per_sec"] == pytest.approx(
+            5 * len(trace) / derived["sim_wall_s"]
+        )
+
+    def test_parallel_rate_uses_elapsed_wall_not_summed_cpu(self, trace):
+        import time as _time
+
+        started = _time.perf_counter()
+        sweep_tiers("gas", trace, size_bits=[4], workers=2)
+        outer_elapsed = _time.perf_counter() - started
+        derived = collect()["derived"]
+        # Wall is the parent's elapsed parallel region — bounded by the
+        # region we just timed — not the sum of worker engine seconds
+        # (which lands in sim_cpu_s instead).
+        assert 0 < derived["sim_wall_s"] <= outer_elapsed
+        assert derived["sim_cpu_s"] > 0
+        assert derived["branches_per_sec"] == pytest.approx(
+            5 * len(trace) / derived["sim_wall_s"]
+        )
+
+
+class TestSummarizeRobustness:
+    def test_empty_file_is_a_repro_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["obs", "summarize", str(empty)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "empty" in err and "Traceback" not in err
+
+    def test_unknown_schema_is_a_repro_error(self, tmp_path, capsys):
+        alien = tmp_path / "alien.json"
+        alien.write_text(json.dumps({"schema": "somebody.else/9"}))
+        assert main(["obs", "summarize", str(alien)]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "somebody.else/9" in err and "Traceback" not in err
+
+    def test_torn_final_trace_line_is_tolerated(self, tmp_path, capsys):
+        spans = tmp_path / "t.jsonl"
+        tracer = get_tracer()
+        tracer.configure_sink(str(spans))
+        with tracer.span("work"):
+            pass
+        tracer.close_sink()
+        with open(spans, "a", encoding="ascii") as handle:
+            handle.write('{"kind": "span", "name": "torn')
+        assert main(["obs", "summarize", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "torn final line skipped" in out
+        assert "work" in out
+
+    def test_torn_mid_file_line_still_fails(self, tmp_path, capsys):
+        spans = tmp_path / "t.jsonl"
+        tracer = get_tracer()
+        tracer.configure_sink(str(spans))
+        with tracer.span("work"):
+            pass
+        tracer.close_sink()
+        good = spans.read_text()
+        spans.write_text(good + "junk\n" + good)
+        assert main(["obs", "summarize", str(spans)]) == EXIT_ERROR
+        assert "bad trace line" in capsys.readouterr().err
