@@ -11,6 +11,7 @@ from repro.analysis.branch_report import (
     branch_breakdown,
     branch_report,
     concentration,
+    predictability_alignment,
 )
 from repro.analysis.compare import DiffGrid, diff_surfaces
 from repro.analysis.convergence import (
@@ -44,6 +45,7 @@ __all__ = [
     "branch_breakdown",
     "branch_report",
     "concentration",
+    "predictability_alignment",
     "ReplicatedRate",
     "replicate_rate",
     "replicate_comparison",

@@ -86,6 +86,52 @@ def concentration(records: List[BranchRecord], share: float = 0.5) -> int:
     return len(records)
 
 
+def predictability_alignment(
+    records: List[BranchRecord],
+    residual_by_pc: "dict[int, float]",
+    min_executions: int = 32,
+) -> float:
+    """Spearman rank correlation: residual entropy vs misprediction rate.
+
+    ``residual_by_pc`` maps each static branch to a predicted
+    difficulty score (typically ``BranchPredictability
+    .residual_entropy`` from :mod:`repro.cfg.predictability`); records
+    executing fewer than ``min_executions`` times are dropped so
+    cold-branch noise cannot swamp the ranking. A value near +1 means
+    the information-theoretic analysis ranks branches the way the
+    simulator actually mispredicts them.
+    """
+    kept = [
+        r for r in records
+        if r.executions >= min_executions and r.pc in residual_by_pc
+    ]
+    if len(kept) < 3:
+        raise ConfigurationError(
+            "alignment needs at least 3 branches above the execution "
+            f"floor, got {len(kept)}"
+        )
+    predicted = np.array([residual_by_pc[r.pc] for r in kept])
+    observed = np.array([r.misprediction_rate for r in kept])
+
+    def _ranks(values: np.ndarray) -> np.ndarray:
+        # Average ranks over ties, else equal scores order arbitrarily.
+        order = np.argsort(values, kind="stable")
+        ranks = np.empty(len(values), dtype=np.float64)
+        ranks[order] = np.arange(len(values), dtype=np.float64)
+        for value in np.unique(values):
+            mask = values == value
+            ranks[mask] = ranks[mask].mean()
+        return ranks
+
+    rp, ro = _ranks(predicted), _ranks(observed)
+    rp = rp - rp.mean()
+    ro = ro - ro.mean()
+    denominator = float(np.sqrt((rp * rp).sum() * (ro * ro).sum()))
+    if denominator == 0.0:
+        return 0.0
+    return float((rp * ro).sum() / denominator)
+
+
 def branch_report(
     result: SimulationResult, trace: BranchTrace, top: int = 10
 ) -> str:

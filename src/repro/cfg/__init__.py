@@ -1,0 +1,61 @@
+"""Static analysis of real Python programs: bytecode CFGs.
+
+Every workload elsewhere in this repo is synthetic — a program *model*
+calibrated to the paper's tables. This subpackage closes the loop with
+*measured* program structure: it decomposes actual Python bytecode into
+basic blocks and control-flow graphs (:mod:`repro.cfg.bytecode`),
+recovers loops/dominators and a static branch taxonomy
+(:mod:`repro.cfg.structure`), records real branch outcomes with a
+low-overhead runtime profiler (:mod:`repro.cfg.profile`), and scores
+each branch's predictability — entropy, mutual information against
+global/local history, correlation sparsity
+(:mod:`repro.cfg.predictability`).
+
+The registered real-program workloads (:mod:`repro.cfg.corpus`) are
+first-class benchmark names: ``make_workload("real_quicksort")``
+returns a measured :class:`~repro.traces.trace.BranchTrace` that flows
+through the same simulate/sweep/figure pipeline as the synthetic
+suite.
+"""
+
+from repro.cfg.bytecode import (
+    BasicBlock,
+    BranchSite,
+    ControlFlowGraph,
+    extract_cfg,
+    iter_code_objects,
+)
+from repro.cfg.corpus import (
+    RealWorkload,
+    get_real_workload,
+    is_real_workload,
+    list_real_workloads,
+    make_real_workload,
+)
+from repro.cfg.predictability import (
+    BranchPredictability,
+    PredictabilityReport,
+    analyze_trace,
+)
+from repro.cfg.profile import BranchProfiler, profile_calls
+from repro.cfg.structure import StructureInfo, analyze_structure
+
+__all__ = [
+    "BasicBlock",
+    "BranchSite",
+    "ControlFlowGraph",
+    "extract_cfg",
+    "iter_code_objects",
+    "BranchProfiler",
+    "profile_calls",
+    "StructureInfo",
+    "analyze_structure",
+    "BranchPredictability",
+    "PredictabilityReport",
+    "analyze_trace",
+    "RealWorkload",
+    "get_real_workload",
+    "is_real_workload",
+    "list_real_workloads",
+    "make_real_workload",
+]

@@ -1,0 +1,350 @@
+"""Bytecode CFG extraction, with a CPython version-compat layer.
+
+This module is the **only** place in the repo allowed to touch
+version-dependent bytecode surfaces — ``dis.opmap`` lookups and the
+``sys.monitoring`` module (the ``code.version-gate`` lint rule enforces
+it). CPython's bytecode changed materially between the CI interpreters:
+
+* 3.10 encodes conditional jumps as ``POP_JUMP_IF_*`` with absolute
+  targets, exception handling as in-stream ``SETUP_FINALLY``-family
+  jumps, and loops close with ``JUMP_ABSOLUTE``;
+* 3.11 splits conditional jumps into ``POP_JUMP_FORWARD_IF_*`` /
+  ``POP_JUMP_BACKWARD_IF_*``, moves exception handling into the
+  side-table (zero-cost), and adds ``JUMP_BACKWARD``;
+* 3.12 re-unifies ``POP_JUMP_IF_*`` and adds ``RETURN_CONST`` /
+  ``END_FOR``.
+
+The extractor normalizes all of this into one model: basic blocks with
+``taken`` / ``fall`` / ``jump`` edges, plus :class:`BranchSite` records
+for every *conditional* branch. Exception edges are deliberately pruned
+(3.10's ``SETUP_*`` jumps carry no edge; 3.11+ never materialize them in
+the instruction stream), matching what a branch predictor sees: the
+conditional-branch stream of the normal path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dis
+import sys
+from dataclasses import dataclass, field
+from types import CodeType, ModuleType
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+
+#: The running interpreter, the single switch the compat layer keys on.
+PY_VERSION: Tuple[int, int] = (sys.version_info[0], sys.version_info[1])
+
+
+def _resolve(names: Tuple[str, ...]) -> FrozenSet[int]:
+    """Opcode numbers for the subset of ``names`` this CPython knows.
+
+    Names absent from the running interpreter's ``dis.opmap`` are
+    silently skipped — that *is* the compat mechanism: the union
+    vocabulary below covers 3.9 through 3.13, and each interpreter
+    contributes only the opcodes it actually emits.
+    """
+    opmap = dis.opmap
+    return frozenset(opmap[name] for name in names if name in opmap)
+
+
+#: Conditional two-way branches (the predictor-visible kind). Union
+#: vocabulary across 3.9-3.13; see :func:`_resolve`.
+CONDITIONAL_NAMES: Tuple[str, ...] = (
+    "POP_JUMP_IF_TRUE",
+    "POP_JUMP_IF_FALSE",
+    "POP_JUMP_IF_NONE",
+    "POP_JUMP_IF_NOT_NONE",
+    "POP_JUMP_FORWARD_IF_TRUE",
+    "POP_JUMP_FORWARD_IF_FALSE",
+    "POP_JUMP_FORWARD_IF_NONE",
+    "POP_JUMP_FORWARD_IF_NOT_NONE",
+    "POP_JUMP_BACKWARD_IF_TRUE",
+    "POP_JUMP_BACKWARD_IF_FALSE",
+    "POP_JUMP_BACKWARD_IF_NONE",
+    "POP_JUMP_BACKWARD_IF_NOT_NONE",
+    "JUMP_IF_TRUE_OR_POP",
+    "JUMP_IF_FALSE_OR_POP",
+    "JUMP_IF_NOT_EXC_MATCH",
+    "FOR_ITER",
+)
+
+#: Unconditional in-stream jumps.
+UNCONDITIONAL_NAMES: Tuple[str, ...] = (
+    "JUMP_FORWARD",
+    "JUMP_ABSOLUTE",
+    "JUMP_BACKWARD",
+    "JUMP_BACKWARD_NO_INTERRUPT",
+)
+
+#: Instructions that end a block with no in-function successor.
+TERMINATOR_NAMES: Tuple[str, ...] = (
+    "RETURN_VALUE",
+    "RETURN_CONST",
+    "RAISE_VARARGS",
+    "RERAISE",
+)
+
+#: 3.10-era exception-setup jumps: their targets are handler entry
+#: points reached only by unwinding, so the CFG prunes the edge (the
+#: handler block still exists, as an entry-unreachable region).
+EXCEPTION_SETUP_NAMES: Tuple[str, ...] = (
+    "SETUP_FINALLY",
+    "SETUP_WITH",
+    "SETUP_ASYNC_WITH",
+    "SETUP_CLEANUP",
+)
+
+
+@dataclass(frozen=True)
+class OpcodeSets:
+    """The running interpreter's branch vocabulary, resolved once."""
+
+    conditional: FrozenSet[int]
+    unconditional: FrozenSet[int]
+    terminator: FrozenSet[int]
+    exception_setup: FrozenSet[int]
+
+
+_OPCODE_SETS: Optional[OpcodeSets] = None
+
+
+def opcode_sets() -> OpcodeSets:
+    """The memoized :class:`OpcodeSets` for this interpreter."""
+    global _OPCODE_SETS
+    if _OPCODE_SETS is None:
+        _OPCODE_SETS = OpcodeSets(
+            conditional=_resolve(CONDITIONAL_NAMES),
+            unconditional=_resolve(UNCONDITIONAL_NAMES),
+            terminator=_resolve(TERMINATOR_NAMES),
+            exception_setup=_resolve(EXCEPTION_SETUP_NAMES),
+        )
+    return _OPCODE_SETS
+
+
+def get_monitoring() -> Optional[ModuleType]:
+    """``sys.monitoring`` when this interpreter has a usable BRANCH event.
+
+    Returns ``None`` below 3.12 (callers fall back to the settrace
+    opcode recorder). Access is funneled through here so the rest of
+    the codebase never touches the attribute directly.
+    """
+    if PY_VERSION < (3, 12):
+        return None
+    monitoring = getattr(sys, "monitoring", None)
+    if monitoring is None:  # pragma: no cover - 3.12+ always has it
+        return None
+    if not hasattr(getattr(monitoring, "events", None), "BRANCH"):
+        return None  # pragma: no cover - future interpreters
+    return monitoring
+
+
+def get_instructions(code: CodeType) -> List[dis.Instruction]:
+    """Real (non-CACHE) instructions of ``code``, in offset order."""
+    # 3.11/3.12 hide inline CACHE entries by default; offsets still
+    # count their bytes, which is exactly what the runtime reports.
+    return list(dis.get_instructions(code))
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """One conditional branch instruction, statically located.
+
+    ``taken_target`` / ``fallthrough`` are bytecode offsets inside the
+    same code object; ``ordinal`` numbers the sites in offset order and
+    is what the address layout keys on (stable across interpreters
+    whenever the *branch structure* matches, unlike raw offsets).
+    """
+
+    offset: int
+    opname: str
+    taken_target: int
+    fallthrough: int
+    ordinal: int
+
+
+#: Edge kinds: ``taken`` = conditional jump taken, ``fall`` =
+#: conditional not-taken or plain fall-through, ``jump`` =
+#: unconditional transfer.
+EDGE_KINDS: Tuple[str, ...] = ("taken", "fall", "jump")
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """Maximal straight-line instruction run."""
+
+    index: int
+    start: int
+    end: int  # offset one past the last instruction's offset span
+    opnames: Tuple[str, ...]
+    successors: Tuple[Tuple[str, int], ...]  # (edge kind, block index)
+
+    def successor_indices(self) -> Tuple[int, ...]:
+        return tuple(index for _kind, index in self.successors)
+
+
+@dataclass(frozen=True)
+class ControlFlowGraph:
+    """Blocks + conditional branch sites of one code object."""
+
+    name: str
+    qualname: str
+    filename: str
+    blocks: Tuple[BasicBlock, ...]
+    branch_sites: Tuple[BranchSite, ...]
+    pruned_exception_edges: int
+    _block_starts: Tuple[int, ...] = field(repr=False, default=())
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(block.successors) for block in self.blocks)
+
+    def edges(self) -> List[Tuple[int, str, int]]:
+        """All edges as ``(src block, kind, dst block)`` triples."""
+        out: List[Tuple[int, str, int]] = []
+        for block in self.blocks:
+            for kind, dst in block.successors:
+                out.append((block.index, kind, dst))
+        return out
+
+    def block_at(self, offset: int) -> BasicBlock:
+        """The block containing bytecode ``offset``."""
+        pos = bisect.bisect_right(self._block_starts, offset) - 1
+        if pos < 0 or offset >= self.blocks[pos].end:
+            raise AnalysisError(
+                f"offset {offset} is outside every block of "
+                f"{self.qualname} ({self.filename})"
+            )
+        return self.blocks[pos]
+
+    def site_at(self, offset: int) -> Optional[BranchSite]:
+        """The conditional branch at ``offset``, or None."""
+        for site in self.branch_sites:
+            if site.offset == offset:
+                return site
+        return None
+
+
+def extract_cfg(code: CodeType) -> ControlFlowGraph:
+    """Decompose one code object into basic blocks and a CFG.
+
+    Leaders are: the entry offset, every jump target, and every
+    instruction following a jump or terminator. Exception edges are
+    pruned (see module docstring); handler blocks remain in the block
+    list but are unreachable from the entry, and the count of pruned
+    setup edges is recorded.
+    """
+    instructions = get_instructions(code)
+    if not instructions:
+        raise AnalysisError(
+            f"code object {code.co_name!r} has no instructions"
+        )
+    ops = opcode_sets()
+    offsets = [instr.offset for instr in instructions]
+    next_offset: Dict[int, int] = {}
+    for here, there in zip(offsets, offsets[1:]):
+        next_offset[here] = there
+    last = instructions[-1]
+    next_offset[last.offset] = last.offset + 2
+
+    jumps = ops.conditional | ops.unconditional
+    leaders = {offsets[0]}
+    pruned = 0
+    for instr in instructions:
+        if instr.opcode in ops.exception_setup:
+            # Handler entry stays a leader so the block exists, but no
+            # edge is drawn to it.
+            pruned += 1
+            leaders.add(int(instr.argval))
+            leaders.add(next_offset[instr.offset])
+            continue
+        if instr.opcode in jumps:
+            leaders.add(int(instr.argval))
+            leaders.add(next_offset[instr.offset])
+        elif instr.opcode in ops.terminator:
+            leaders.add(next_offset[instr.offset])
+    leaders.discard(next_offset[last.offset])  # no block past the end
+
+    starts = sorted(leaders)
+    start_to_index = {start: index for index, start in enumerate(starts)}
+
+    # Partition instructions into blocks.
+    grouped: List[List[dis.Instruction]] = [[] for _ in starts]
+    current = -1
+    for instr in instructions:
+        if instr.offset in start_to_index:
+            current = start_to_index[instr.offset]
+        grouped[current].append(instr)
+
+    sites: List[BranchSite] = []
+    blocks: List[BasicBlock] = []
+    for index, members in enumerate(grouped):
+        tail = members[-1]
+        end = next_offset[tail.offset]
+        successors: List[Tuple[str, int]] = []
+        if tail.opcode in ops.conditional:
+            target = int(tail.argval)
+            fall = next_offset[tail.offset]
+            successors.append(("taken", start_to_index[target]))
+            if fall in start_to_index:
+                successors.append(("fall", start_to_index[fall]))
+            sites.append(
+                BranchSite(
+                    offset=tail.offset,
+                    opname=tail.opname,
+                    taken_target=target,
+                    fallthrough=fall,
+                    ordinal=len(sites),
+                )
+            )
+        elif tail.opcode in ops.unconditional:
+            successors.append(("jump", start_to_index[int(tail.argval)]))
+        elif tail.opcode in ops.terminator:
+            pass
+        else:
+            fall = next_offset[tail.offset]
+            if fall in start_to_index:
+                successors.append(("fall", start_to_index[fall]))
+        blocks.append(
+            BasicBlock(
+                index=index,
+                start=members[0].offset,
+                end=end,
+                opnames=tuple(instr.opname for instr in members),
+                successors=tuple(successors),
+            )
+        )
+
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return ControlFlowGraph(
+        name=code.co_name,
+        qualname=qualname,
+        filename=code.co_filename,
+        blocks=tuple(blocks),
+        branch_sites=tuple(sites),
+        pruned_exception_edges=pruned,
+        _block_starts=tuple(block.start for block in blocks),
+    )
+
+
+def iter_code_objects(code: CodeType) -> Iterator[CodeType]:
+    """``code`` and every code object nested in its constants.
+
+    Covers closures, comprehensions, and nested defs; order is
+    deterministic (definition order within each constants tuple).
+    """
+    yield code
+    for const in code.co_consts:
+        if isinstance(const, CodeType):
+            yield from iter_code_objects(const)
+
+
+def code_key(code: CodeType) -> Tuple[str, str, int]:
+    """A stable display identity for one code object."""
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return (code.co_filename, qualname, code.co_firstlineno)

@@ -1,0 +1,229 @@
+"""Registered real-program workloads.
+
+Each entry names a small, deterministic, pure-Python kernel whose
+conditional branches are *measured* at runtime (:mod:`repro.cfg
+.profile`) instead of sampled from a calibrated profile. The kernels
+are chosen to span the paper's branch-behaviour taxonomy with real
+control flow:
+
+* ``real_quicksort`` — iterative quicksort over seeded random keys:
+  data-dependent partition comparisons (near-coin-flip guards, the
+  hard population) under predictable loop scaffolding;
+* ``real_binsearch`` — repeated binary searches: short while loops
+  whose direction branch is data-dependent but whose trip structure is
+  rigid;
+* ``real_collatz`` — Collatz trajectory lengths: a parity guard with
+  mid entropy plus strongly biased loop branches;
+* ``real_wordcount`` — a character-class state machine over seeded
+  text: the boundary branch correlates strongly with its own recent
+  outcomes (high local MI), the population two-level schemes exist for.
+
+Traces are built through :func:`repro.workloads.registry.make_workload`
+(these names are first-class workload names), flow into the
+:class:`~repro.workloads.store.TraceStore`, and simulate through the
+same figure/sweep pipeline as the synthetic suite. Determinism is
+per-interpreter: one (name, length, seed) triple always reproduces the
+same trace under one CPython, but bytecode differences mean traces are
+not bit-identical *across* interpreter versions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.cfg.profile import BranchProfiler
+from repro.errors import AnalysisError
+from repro.traces.trace import BranchTrace
+
+# -- kernels ----------------------------------------------------------
+
+
+def quicksort(values: List[int]) -> None:
+    """Iterative in-place quicksort (Hoare partition)."""
+    stack = [(0, len(values) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 1:
+            continue
+        pivot = values[(lo + hi) // 2]
+        i, j = lo, hi
+        while i <= j:
+            while values[i] < pivot:
+                i += 1
+            while values[j] > pivot:
+                j -= 1
+            if i <= j:
+                values[i], values[j] = values[j], values[i]
+                i += 1
+                j -= 1
+        if lo < j:
+            stack.append((lo, j))
+        if i < hi:
+            stack.append((i, hi))
+
+
+def binary_search(table: List[int], key: int) -> int:
+    """Leftmost-insertion binary search."""
+    lo, hi = 0, len(table)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if table[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def collatz_steps(n: int) -> int:
+    """Length of the Collatz trajectory from ``n`` down to 1."""
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n //= 2
+        else:
+            n = 3 * n + 1
+        steps += 1
+    return steps
+
+
+def count_words(text: str) -> int:
+    """Word count via an in-word/out-of-word state machine."""
+    count = 0
+    in_word = False
+    for ch in text:
+        if ch == " " or ch == "\n":
+            if in_word:
+                count += 1
+            in_word = False
+        else:
+            in_word = True
+    if in_word:
+        count += 1
+    return count
+
+
+# -- workload entries -------------------------------------------------
+
+
+def _run_quicksort(rng: random.Random, scale: int) -> None:
+    values = [rng.randrange(1_000_000) for _ in range(64 * scale)]
+    quicksort(values)
+
+
+def _run_binsearch(rng: random.Random, scale: int) -> None:
+    table = sorted(rng.randrange(1_000_000) for _ in range(256))
+    for _ in range(32 * scale):
+        binary_search(table, rng.randrange(1_100_000))
+
+
+def _run_collatz(rng: random.Random, scale: int) -> None:
+    base = rng.randrange(1_000, 100_000)
+    for n in range(base, base + 8 * scale):
+        collatz_steps(n)
+
+
+def _run_wordcount(rng: random.Random, scale: int) -> None:
+    alphabet = "abcdefg  \n"
+    text = "".join(
+        alphabet[rng.randrange(len(alphabet))] for _ in range(512 * scale)
+    )
+    count_words(text)
+
+
+@dataclass(frozen=True)
+class RealWorkload:
+    """One measured-program workload entry."""
+
+    name: str
+    title: str
+    entry: Callable[[random.Random, int], None]
+    instrument: Tuple[Callable, ...]
+    default_length: int
+
+
+#: The registered real-program suite, keyed by workload name. Every
+#: name here is accepted anywhere a benchmark name is: ``repro run``,
+#: ``repro generate``, sweeps, and ``repro analyze``.
+REAL_WORKLOADS: Dict[str, RealWorkload] = {
+    workload.name: workload
+    for workload in (
+        RealWorkload(
+            name="real_quicksort",
+            title="iterative quicksort over seeded random keys",
+            entry=_run_quicksort,
+            instrument=(quicksort, _run_quicksort),
+            default_length=20_000,
+        ),
+        RealWorkload(
+            name="real_binsearch",
+            title="repeated binary searches over a seeded table",
+            entry=_run_binsearch,
+            instrument=(binary_search, _run_binsearch),
+            default_length=20_000,
+        ),
+        RealWorkload(
+            name="real_collatz",
+            title="Collatz trajectory lengths over a seeded range",
+            entry=_run_collatz,
+            instrument=(collatz_steps, _run_collatz),
+            default_length=20_000,
+        ),
+        RealWorkload(
+            name="real_wordcount",
+            title="word-boundary state machine over seeded text",
+            entry=_run_wordcount,
+            instrument=(count_words, _run_wordcount),
+            default_length=20_000,
+        ),
+    )
+}
+
+
+def list_real_workloads() -> List[str]:
+    """Registered real-program workload names, sorted."""
+    return sorted(REAL_WORKLOADS)
+
+
+def is_real_workload(name: str) -> bool:
+    return name in REAL_WORKLOADS
+
+
+def get_real_workload(name: str) -> RealWorkload:
+    try:
+        return REAL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(list_real_workloads())
+        raise AnalysisError(
+            f"unknown real workload {name!r}; registered: {known}"
+        ) from None
+
+
+def make_real_workload(
+    name: str, length: int = 0, seed: int = 0
+) -> BranchTrace:
+    """Profile a registered kernel until ``length`` branches are seen.
+
+    The kernel's entry point is called with increasing scale until the
+    profiler has recorded at least ``length`` conditional-branch
+    events; the trace is then truncated to exactly ``length`` records
+    (0 means one unit call, untruncated). Deterministic for one
+    (name, length, seed) on a given interpreter.
+    """
+    workload = get_real_workload(name)
+    if length < 0:
+        raise AnalysisError(f"length must be >= 0, got {length}")
+    rng = random.Random(seed)
+    profiler = BranchProfiler(workload.instrument)
+    scale = 1
+    with profiler:
+        workload.entry(rng, scale)
+        while length and len(profiler) < length:
+            scale = min(scale * 2, 1024)
+            workload.entry(rng, scale)
+    trace = profiler.build_trace(name)
+    if length and len(trace) > length:
+        trace = trace.slice(0, length)
+        trace.name = name  # drop the slice annotation: same workload
+    return trace

@@ -1,0 +1,273 @@
+"""Structural analysis of an extracted CFG.
+
+Dominator tree, natural loops, nesting depth, reducibility, and a
+per-branch *static* classification — the static analogue of the
+paper's branch taxonomy:
+
+* ``back-edge`` — the branch closes a loop (one of its edges is a back
+  edge); the dynamic stream of such a site is dominated by the loop's
+  trip behaviour, the paper's strongly-biased-taken population;
+* ``loop-exit`` — the branch sits inside a loop and one successor
+  leaves it (``FOR_ITER`` exhaustion, a ``while`` test, ``break``
+  guards); biased with a once-per-trip flip;
+* ``guard`` — everything else (if/else data-dependent control), the
+  population where correlation and history depth actually matter.
+
+Everything operates on the entry-reachable subgraph: exception-handler
+blocks pruned by the extractor simply don't participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cfg.bytecode import ControlFlowGraph
+
+#: Static branch classes, in classification priority order.
+BRANCH_CLASSES: Tuple[str, ...] = ("back-edge", "loop-exit", "guard")
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: header block plus body block set."""
+
+    header: int
+    body: FrozenSet[int]  # includes the header
+
+    def __contains__(self, block_index: int) -> bool:
+        return block_index in self.body
+
+
+@dataclass(frozen=True)
+class StructureInfo:
+    """Everything :func:`analyze_structure` derives from one CFG."""
+
+    reachable: FrozenSet[int]
+    idom: Dict[int, int]  # immediate dominator (entry maps to itself)
+    back_edges: FrozenSet[Tuple[int, int]]
+    loops: Tuple[Loop, ...]
+    nesting_depth: Dict[int, int]  # block index -> containing-loop count
+    reducible: bool
+    branch_classes: Dict[int, str]  # branch ordinal -> class
+
+    @property
+    def max_nesting(self) -> int:
+        return max(self.nesting_depth.values(), default=0)
+
+    def loop_depth(self, block_index: int) -> int:
+        return self.nesting_depth.get(block_index, 0)
+
+
+def _successors(cfg: ControlFlowGraph) -> Dict[int, List[int]]:
+    table: Dict[int, List[int]] = {}
+    for block in cfg.blocks:
+        table[block.index] = [dst for _kind, dst in block.successors]
+    return table
+
+
+def _reachable(succ: Dict[int, List[int]], entry: int) -> Set[int]:
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        for nxt in succ[node]:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def _dominators(
+    succ: Dict[int, List[int]], reachable: Set[int], entry: int
+) -> Dict[int, Set[int]]:
+    """Classic iterative dominator dataflow over the reachable set."""
+    nodes = sorted(reachable)
+    preds: Dict[int, List[int]] = {node: [] for node in nodes}
+    for node in nodes:
+        for nxt in succ[node]:
+            if nxt in reachable:
+                preds[nxt].append(node)
+    dom: Dict[int, Set[int]] = {
+        node: ({node} if node == entry else set(nodes)) for node in nodes
+    }
+    changed = True
+    while changed:
+        changed = False
+        for node in nodes:
+            if node == entry:
+                continue
+            incoming = [dom[p] for p in preds[node]]
+            new = set.intersection(*incoming) if incoming else set()
+            new = new | {node}
+            if new != dom[node]:
+                dom[node] = new
+                changed = True
+    return dom
+
+
+def _immediate_dominators(
+    dom: Dict[int, Set[int]], entry: int
+) -> Dict[int, int]:
+    idom: Dict[int, int] = {entry: entry}
+    for node, dominators in dom.items():
+        if node == entry:
+            continue
+        strict = dominators - {node}
+        # The immediate dominator is the strict dominator dominated by
+        # every other strict dominator — i.e. the one with the largest
+        # dominator set.
+        if strict:
+            idom[node] = max(strict, key=lambda d: len(dom[d]))
+    return idom
+
+
+def _natural_loop(
+    back_src: int, header: int, preds: Dict[int, List[int]]
+) -> Set[int]:
+    """Blocks of the natural loop for back edge ``back_src -> header``."""
+    body = {header, back_src}
+    stack = [back_src]
+    while stack:
+        node = stack.pop()
+        if node == header:
+            continue
+        for pred in preds.get(node, ()):
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body
+
+
+def analyze_structure(cfg: ControlFlowGraph) -> StructureInfo:
+    """Dominators, loops, reducibility, and branch classes of ``cfg``."""
+    succ = _successors(cfg)
+    entry = 0
+    reachable = _reachable(succ, entry)
+    dom = _dominators(succ, reachable, entry)
+    idom = _immediate_dominators(dom, entry)
+
+    preds: Dict[int, List[int]] = {node: [] for node in sorted(reachable)}
+    for node in sorted(reachable):
+        for nxt in succ[node]:
+            if nxt in reachable:
+                preds[nxt].append(node)
+
+    # Retreating edges via iterative DFS (discovery/finish intervals);
+    # the graph is reducible iff every retreating edge is a true back
+    # edge (target dominates source).
+    disc: Dict[int, int] = {}
+    fin: Dict[int, int] = {}
+    clock = 0
+    stack: List[Tuple[int, int]] = [(entry, 0)]
+    disc[entry] = clock
+    clock += 1
+    while stack:
+        node, child = stack[-1]
+        children = [n for n in succ[node] if n in reachable]
+        if child < len(children):
+            stack[-1] = (node, child + 1)
+            nxt = children[child]
+            if nxt not in disc:
+                disc[nxt] = clock
+                clock += 1
+                stack.append((nxt, 0))
+        else:
+            fin[node] = clock
+            clock += 1
+            stack.pop()
+
+    back_edges: Set[Tuple[int, int]] = set()
+    reducible = True
+    for node in sorted(reachable):
+        for nxt in succ[node]:
+            if nxt not in reachable:
+                continue
+            retreating = (
+                disc.get(nxt, -1) <= disc.get(node, -1)
+                and fin.get(nxt, -1) >= fin.get(node, -1)
+            )
+            if retreating:
+                if nxt in dom[node]:
+                    back_edges.add((node, nxt))
+                else:
+                    reducible = False
+
+    # Natural loops, merged per header; nesting depth by membership.
+    bodies: Dict[int, Set[int]] = {}
+    for src, header in sorted(back_edges):
+        body = _natural_loop(src, header, preds)
+        bodies.setdefault(header, set()).update(body)
+    loops = tuple(
+        Loop(header=header, body=frozenset(bodies[header]))
+        for header in sorted(bodies)
+    )
+    nesting: Dict[int, int] = {node: 0 for node in sorted(reachable)}
+    for loop in loops:
+        for node in sorted(loop.body):
+            if node in nesting:
+                nesting[node] += 1
+
+    branch_classes: Dict[int, str] = {}
+    for site in cfg.branch_sites:
+        block = cfg.block_at(site.offset)
+        if block.index not in reachable:
+            branch_classes[site.ordinal] = "guard"
+            continue
+        closes_loop = any(
+            (block.index, dst) in back_edges
+            for _kind, dst in block.successors
+        )
+        if closes_loop:
+            branch_classes[site.ordinal] = "back-edge"
+            continue
+        depth = nesting.get(block.index, 0)
+        if depth > 0:
+            leaves_loop = False
+            for loop in loops:
+                if block.index in loop.body:
+                    for _kind, dst in block.successors:
+                        if dst not in loop.body:
+                            leaves_loop = True
+            if leaves_loop:
+                branch_classes[site.ordinal] = "loop-exit"
+                continue
+        branch_classes[site.ordinal] = "guard"
+
+    return StructureInfo(
+        reachable=frozenset(reachable),
+        idom=idom,
+        back_edges=frozenset(back_edges),
+        loops=loops,
+        nesting_depth=nesting,
+        reducible=reducible,
+        branch_classes=branch_classes,
+    )
+
+
+def branch_skeleton(
+    cfg: ControlFlowGraph, info: Optional[StructureInfo] = None
+) -> Dict[str, object]:
+    """A version-portable structural summary for golden fixtures.
+
+    Raw bytecode offsets differ between CPython releases; what is
+    stable for straightforward functions is the *shape*: how many
+    conditional branches exist (in offset order), what class each
+    falls into, whether its taken edge points backwards, and the loop
+    skeleton (count, max nesting, reducibility).
+    """
+    if info is None:
+        info = analyze_structure(cfg)
+    branches = tuple(
+        (
+            info.branch_classes[site.ordinal],
+            bool(site.taken_target <= site.offset),
+        )
+        for site in cfg.branch_sites
+    )
+    return {
+        "branches": branches,
+        "num_loops": len(info.loops),
+        "max_nesting": info.max_nesting,
+        "reducible": info.reducible,
+    }

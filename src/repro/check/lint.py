@@ -30,6 +30,19 @@ this codebase relies on:
   pinned here. An edit that changes any of them silently orphans every
   existing checkpoint, so it must trip this rule (and the golden-key
   fixtures in the test suite) and be made deliberately.
+* ``code.version-gate`` — raw ``dis.opmap[...]`` lookups and
+  ``sys.monitoring`` access are version-gated interpreter surface; both
+  belong behind the compat layer (:data:`COMPAT_SUFFIXES`, i.e.
+  :mod:`repro.cfg.bytecode`), where names that differ across the
+  supported CPythons are resolved once. Direct use elsewhere breaks one
+  CI interpreter or the other.
+* ``code.set-iter`` — iterating a set literal / ``set()`` /
+  ``frozenset()`` directly in a ``for`` header inside the analysis
+  modules (:data:`ANALYSIS_SUFFIXES`): set order is
+  insertion/hash-dependent, so ordinals, trace layouts, and report
+  rows would differ run to run. Iterate ``sorted(...)`` or a list.
+  (Sets reached through a variable are out of static reach; the rule
+  pins the directly visible cases.)
 
 A finding on a line containing ``check: allow(<rule>)`` is suppressed;
 the marker doubles as in-source documentation of the exception.
@@ -60,6 +73,22 @@ WRITER_SUFFIXES: Tuple[str, ...] = (
 #: Modules holding checkpoint-identity code the key-stability rule pins.
 CHECKPOINT_SUFFIXES: Tuple[str, ...] = (
     "runtime/checkpoint.py",
+)
+
+#: The one module allowed to touch version-gated interpreter surface
+#: (``dis.opmap``, ``sys.monitoring``): the opcode compat layer.
+COMPAT_SUFFIXES: Tuple[str, ...] = (
+    "cfg/bytecode.py",
+)
+
+#: Modules whose outputs must be deterministic run to run (ordinals,
+#: layouts, report rows); direct set iteration is flagged here.
+ANALYSIS_SUFFIXES: Tuple[str, ...] = (
+    "cfg/bytecode.py",
+    "cfg/structure.py",
+    "cfg/profile.py",
+    "cfg/predictability.py",
+    "cfg/corpus.py",
 )
 
 #: Names that denote register-width/table-geometry constants: a hot
@@ -166,12 +195,16 @@ class _Linter(ast.NodeVisitor):
         is_writer: bool,
         metric_names: "dict[str, Set[str]]",
         is_checkpoint: bool = False,
+        is_compat: bool = False,
+        is_analysis: bool = False,
     ) -> None:
         self.filename = filename
         self.lines = lines
         self.is_hot = is_hot
         self.is_writer = is_writer
         self.is_checkpoint = is_checkpoint
+        self.is_compat = is_compat
+        self.is_analysis = is_analysis
         self.metric_names = metric_names
         self.findings: List[Finding] = []
 
@@ -364,7 +397,58 @@ class _Linter(ast.NodeVisitor):
         self._check_defaults(node)
         self.generic_visit(node)
 
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        """A directly visible set value: literal, comprehension, or a
+        set()/frozenset() construction (however its result is combined
+        with |, &, or -)."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            return _Linter._is_set_expr(node.left) or _Linter._is_set_expr(
+                node.right
+            )
+        return False
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        gated = (
+            isinstance(node.value, ast.Name)
+            and (
+                (node.value.id == "dis" and node.attr == "opmap")
+                or (node.value.id == "sys" and node.attr == "monitoring")
+            )
+        )
+        if gated and not self.is_compat:
+            surface = f"{node.value.id}.{node.attr}"  # type: ignore[union-attr]
+            self._add(
+                "version-gate",
+                "error",
+                node.lineno,
+                f"{surface} is version-gated interpreter surface; go "
+                "through the repro.cfg.bytecode compat layer "
+                "(opcode_sets()/get_monitoring()) so one module owns "
+                "the per-CPython differences",
+            )
+        self.generic_visit(node)
+
     def visit_For(self, node: ast.For) -> None:
+        if self.is_analysis and self._is_set_expr(node.iter):
+            self._add(
+                "set-iter",
+                "error",
+                node.lineno,
+                "iterating a set in an analysis module: hash order "
+                "leaks into ordinals/layouts/reports and breaks "
+                "run-to-run determinism; iterate sorted(...) instead",
+            )
         if self.is_hot and not self._has_bounded_trip_count(node.iter):
             self._add(
                 "hot-loop",
@@ -462,6 +546,8 @@ def lint_source(
     is_hot: bool = False,
     is_writer: bool = False,
     is_checkpoint: bool = False,
+    is_compat: bool = False,
+    is_analysis: bool = False,
 ) -> List[Finding]:
     """Lint one module's source text (the unit the tests drive)."""
     try:
@@ -482,6 +568,8 @@ def lint_source(
         is_writer=is_writer,
         metric_names=_declared_metric_names(),
         is_checkpoint=is_checkpoint,
+        is_compat=is_compat,
+        is_analysis=is_analysis,
     )
     linter.visit(tree)
     return sorted(linter.findings, key=lambda f: f.location or "")
@@ -492,6 +580,8 @@ def lint_paths(
     hot_suffixes: Sequence[str] = HOT_PATH_SUFFIXES,
     writer_suffixes: Sequence[str] = WRITER_SUFFIXES,
     checkpoint_suffixes: Sequence[str] = CHECKPOINT_SUFFIXES,
+    compat_suffixes: Sequence[str] = COMPAT_SUFFIXES,
+    analysis_suffixes: Sequence[str] = ANALYSIS_SUFFIXES,
 ) -> List[Finding]:
     """The full code pass over ``paths`` (default: the repro package)."""
     resolved = list(paths) if paths else default_paths()
@@ -512,6 +602,8 @@ def lint_paths(
                 is_hot=_matches(filename, hot_suffixes),
                 is_writer=_matches(filename, writer_suffixes),
                 is_checkpoint=_matches(filename, checkpoint_suffixes),
+                is_compat=_matches(filename, compat_suffixes),
+                is_analysis=_matches(filename, analysis_suffixes),
             )
         )
         checked += 1

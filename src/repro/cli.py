@@ -294,6 +294,65 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_options(simulate)
     _add_obs_options(simulate)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="static CFG and branch-predictability analysis",
+        description=(
+            "Analyze real program structure: decompose Python functions "
+            "into bytecode CFGs, or score a workload's branches by "
+            "outcome entropy and mutual information with history."
+        ),
+    )
+    analyze_sub = analyze.add_subparsers(
+        dest="analyze_command", required=True
+    )
+
+    predictability = analyze_sub.add_parser(
+        "predictability",
+        help="entropy/MI scorecard for one workload's branches",
+    )
+    predictability.add_argument(
+        "benchmark",
+        help="workload name (synthetic or real; see `repro workloads`)",
+    )
+    _add_trace_options(predictability, benchmark_flag=False)
+    predictability.add_argument(
+        "--history-bits",
+        type=int,
+        default=None,
+        metavar="K",
+        help="history depth for the mutual-information estimates",
+    )
+    predictability.add_argument(
+        "--top", type=int, default=20,
+        help="branches shown in the table (hottest first)",
+    )
+    predictability.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of tables",
+    )
+    predictability.add_argument(
+        "--strict", action="store_true",
+        help="hard-branch warnings fail the run",
+    )
+    _add_obs_options(predictability)
+
+    analyze_cfg = analyze_sub.add_parser(
+        "cfg",
+        help="bytecode CFG and loop structure of real functions",
+    )
+    analyze_cfg.add_argument(
+        "target",
+        help=(
+            "real workload name (instrumented kernels) or "
+            "module:qualname of any Python function"
+        ),
+    )
+    analyze_cfg.add_argument(
+        "--json", action="store_true",
+        help="emit the structure summary as JSON",
+    )
+
     doctor = sub.add_parser(
         "doctor",
         help="scan (and repair) checkpoint journals and the trace store",
@@ -672,10 +731,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "workloads":
+        from repro.cfg.corpus import get_real_workload
         from repro.workloads.profiles import get_profile
-        from repro.workloads.registry import list_workloads
+        from repro.workloads.registry import is_real_workload, list_workloads
 
         for name in list_workloads():
+            if is_real_workload(name):
+                workload = get_real_workload(name)
+                print(f"{name:12s} {'real':10s} {workload.title}")
+                continue
             profile = get_profile(name)
             print(
                 f"{name:12s} {profile.suite:10s} "
@@ -686,6 +750,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "obs":
         return _dispatch_obs(args)
+
+    if args.command == "analyze":
+        return _dispatch_analyze(args)
 
     if args.command == "run":
         from repro.experiments.base import (
@@ -922,6 +989,141 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _analysis_targets(target: str) -> list:
+    """Resolve an ``analyze cfg`` target to concrete functions.
+
+    A registered real-workload name yields its instrumented kernels;
+    ``module:qualname`` imports the module and walks the dotted
+    qualname (so methods work too).
+    """
+    import importlib
+
+    from repro.errors import AnalysisError
+    from repro.workloads.registry import is_real_workload
+
+    if is_real_workload(target):
+        from repro.cfg.corpus import get_real_workload
+
+        return list(get_real_workload(target).instrument)
+    if ":" not in target:
+        raise AnalysisError(
+            f"{target!r} is not a real workload; pass one of the "
+            "`repro workloads` real entries or module:qualname"
+        )
+    module_name, _, qualname = target.partition(":")
+    try:
+        obj = importlib.import_module(module_name)
+    except ImportError as error:
+        raise AnalysisError(
+            f"cannot import module {module_name!r}: {error}"
+        ) from None
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            raise AnalysisError(
+                f"{module_name!r} has no attribute path {qualname!r}"
+            ) from None
+    if not hasattr(obj, "__code__"):
+        raise AnalysisError(
+            f"{target!r} resolves to {type(obj).__name__}, not a "
+            "plain Python function"
+        )
+    return [obj]
+
+
+def _dispatch_analyze(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.analyze_command == "predictability":
+        from repro.cfg.predictability import analyze_trace
+        from repro.check.findings import CheckReport
+        from repro.workloads.registry import make_workload
+
+        trace = make_workload(
+            args.benchmark, length=args.length, seed=args.seed
+        )
+        kwargs = {}
+        if args.history_bits is not None:
+            kwargs["history_bits"] = args.history_bits
+        report = analyze_trace(trace, **kwargs)
+        checks = CheckReport()
+        checks.extend("analyze.predictability", report.findings())
+        if args.json:
+            payload = report.to_json()
+            payload["findings"] = [f.to_json() for f in checks.findings]
+            print(_json.dumps(payload, indent=2))
+        else:
+            print(report.render(top=args.top))
+            print()
+            print(checks.render_text(args.strict))
+        return checks.exit_code(args.strict)
+
+    if args.analyze_command == "cfg":
+        from repro.cfg.bytecode import (
+            code_key,
+            extract_cfg,
+            iter_code_objects,
+        )
+        from repro.cfg.structure import analyze_structure, branch_skeleton
+
+        summaries = []
+        for function in _analysis_targets(args.target):
+            for code in iter_code_objects(function.__code__):
+                cfg = extract_cfg(code)
+                info = analyze_structure(cfg)
+                skeleton = branch_skeleton(cfg, info)
+                filename, qualname, line = code_key(code)
+                summaries.append(
+                    {
+                        "qualname": qualname,
+                        "file": f"{filename}:{line}",
+                        "blocks": cfg.num_blocks,
+                        "edges": cfg.num_edges,
+                        "branch_sites": len(cfg.branch_sites),
+                        "loops": skeleton["num_loops"],
+                        "max_nesting": skeleton["max_nesting"],
+                        "reducible": skeleton["reducible"],
+                        "branches": [
+                            {
+                                "ordinal": site.ordinal,
+                                "offset": site.offset,
+                                "opname": site.opname,
+                                "class": info.branch_classes[site.ordinal],
+                                "taken_backward": bool(
+                                    site.taken_target <= site.offset
+                                ),
+                            }
+                            for site in cfg.branch_sites
+                        ],
+                    }
+                )
+        if args.json:
+            print(_json.dumps(summaries, indent=2))
+            return 0
+        for summary in summaries:
+            print(
+                f"{summary['qualname']}  ({summary['file']})\n"
+                f"  blocks={summary['blocks']} edges={summary['edges']} "
+                f"branches={summary['branch_sites']} "
+                f"loops={summary['loops']} "
+                f"nesting={summary['max_nesting']} "
+                f"reducible={summary['reducible']}"
+            )
+            for branch in summary["branches"]:
+                arrow = "back" if branch["taken_backward"] else "fwd"
+                print(
+                    f"    #{branch['ordinal']} @{branch['offset']:<4d} "
+                    f"{branch['opname']:28s} {branch['class']:9s} "
+                    f"taken->{arrow}"
+                )
+        return 0
+
+    raise AssertionError(
+        f"unhandled analyze command {args.analyze_command!r}"
+    )
 
 
 def _ledger_entries(args) -> list:

@@ -53,6 +53,15 @@ class CheckError(ReproError):
     """
 
 
+class AnalysisError(ReproError):
+    """A bytecode CFG / predictability analysis could not be performed.
+
+    Examples: an analysis target that is not a Python function, a code
+    object whose bytecode uses an opcode outside the compat layer's
+    vocabulary, or a runtime profile that recorded no branch events.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint journal is corrupt, mismatched, or unwritable.
 

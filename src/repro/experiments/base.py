@@ -75,9 +75,11 @@ class ExperimentOptions:
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:
+        from repro.workloads.registry import is_real_workload
+
         names = list(self.benchmarks) if self.benchmarks else list(default)
         for name in names:
-            if name not in PROFILES:
+            if name not in PROFILES and not is_real_workload(name):
                 raise ExperimentError(f"unknown benchmark {name!r}")
         return names
 

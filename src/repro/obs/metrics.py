@@ -218,6 +218,10 @@ WELL_KNOWN = {
         "chaos.failures",          # chaos scenarios that broke an invariant
         "sim.cpu_s",               # engine seconds summed across processes
         "exec.stragglers",         # workers flagged slower than fleet P90
+        "analyze.functions",       # code objects decomposed into CFGs
+        "analyze.cfg.blocks",      # basic blocks across extracted CFGs
+        "analyze.cfg.edges",       # CFG edges across extracted CFGs
+        "analyze.branches_profiled",  # branch outcomes recorded at runtime
     ),
     "gauges": (),
     "histograms": (
@@ -230,6 +234,7 @@ WELL_KNOWN = {
         "sim.phase.counter_update",   # sort/scatter around the scan
         "sim.phase.checkpoint_flush", # journal rewrite+rename seconds
         "sim.phase.engine_other",     # engine wall not covered above
+        "analyze.profile_s",          # runtime branch-profiling seconds
     ),
 }
 

@@ -156,6 +156,31 @@ def characterize(
     )
 
 
+def outcome_entropy(taken_rate: float) -> float:
+    """Bernoulli outcome entropy in bits for one taken rate.
+
+    0 for a perfectly biased stream (rate 0 or 1), 1 for a fair coin.
+    The predictability pass uses this as the ceiling on what *any*
+    predictor can lose on a branch with i.i.d. outcomes.
+    """
+    if not 0.0 <= taken_rate <= 1.0:
+        raise TraceError(
+            f"taken rate must be in [0, 1], got {taken_rate}"
+        )
+    if taken_rate <= 0.0 or taken_rate >= 1.0:
+        return 0.0
+    p = taken_rate
+    return float(-(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p)))
+
+
+def per_branch_entropy(trace: BranchTrace) -> Dict[int, float]:
+    """Mapping of branch pc to its Bernoulli outcome entropy (bits)."""
+    return {
+        pc: outcome_entropy(rate)
+        for pc, rate in per_branch_taken_rates(trace).items()
+    }
+
+
 def _per_branch_order(trace: BranchTrace) -> np.ndarray:
     """Indices grouping records by branch, program order within a branch."""
     return np.argsort(trace.pc, kind="stable")

@@ -1,0 +1,278 @@
+"""Bytecode CFG extraction: block invariants + golden skeletons.
+
+The golden fixtures pin :func:`repro.cfg.structure.branch_skeleton` —
+the *shape* of each function's control flow (branch classes, taken
+direction, loop skeleton) — which is identical on every supported
+CPython (3.10–3.12) for the straightforward for/if functions below.
+Raw offsets and opcode names are version-specific and deliberately
+not pinned. while-loops are excluded: 3.12 rotates them (condition
+at the bottom), flipping the branch class, so they are not
+skeleton-stable.
+"""
+
+import dis
+import json
+import textwrap
+
+import pytest
+
+from repro.cfg.bytecode import (
+    code_key,
+    extract_cfg,
+    get_instructions,
+    iter_code_objects,
+    opcode_sets,
+)
+from repro.cfg.structure import branch_skeleton
+from repro.errors import AnalysisError
+
+# -- golden-fixture functions (bodies are part of the fixture) --------
+
+
+def count_even(data):
+    n = 0
+    for x in data:
+        if x % 2 == 0:
+            n += 1
+    return n
+
+
+def classify(x):
+    if x < 0:
+        return "neg"
+    elif x == 0:
+        return "zero"
+    elif x < 10:
+        return "small"
+    return "big"
+
+
+def clamp_sum(values, lo, hi):
+    total = 0
+    for v in values:
+        if v < lo:
+            total += lo
+        elif v > hi:
+            total += hi
+        else:
+            total += v
+    return total
+
+
+def find_pair(items, total):
+    for i in range(len(items)):
+        for j in range(len(items)):
+            if items[i] + items[j] == total:
+                return (i, j)
+    return None
+
+
+def count_words(text):
+    count = 0
+    in_word = False
+    for ch in text:
+        if ch == " " or ch == "\n":
+            if in_word:
+                count += 1
+            in_word = False
+        else:
+            in_word = True
+    if in_word:
+        count += 1
+    return count
+
+
+#: branch tuple entries are (class, taken-edge-points-backward).
+GOLDEN_SKELETONS = {
+    count_even: {
+        "branches": (("loop-exit", False), ("guard", False)),
+        "num_loops": 1,
+        "max_nesting": 1,
+        "reducible": True,
+    },
+    classify: {
+        "branches": (
+            ("guard", False),
+            ("guard", False),
+            ("guard", False),
+        ),
+        "num_loops": 0,
+        "max_nesting": 0,
+        "reducible": True,
+    },
+    clamp_sum: {
+        "branches": (
+            ("loop-exit", False),
+            ("guard", False),
+            ("guard", False),
+        ),
+        "num_loops": 1,
+        "max_nesting": 1,
+        "reducible": True,
+    },
+    find_pair: {
+        "branches": (
+            ("loop-exit", False),
+            ("loop-exit", False),
+            ("loop-exit", False),
+        ),
+        "num_loops": 2,
+        "max_nesting": 2,
+        "reducible": True,
+    },
+    count_words: {
+        "branches": (
+            ("loop-exit", False),
+            ("guard", False),
+            ("guard", False),
+            ("guard", False),
+            ("guard", False),
+        ),
+        "num_loops": 1,
+        "max_nesting": 1,
+        "reducible": True,
+    },
+}
+
+
+class TestGoldenSkeletons:
+    @pytest.mark.parametrize(
+        "function", GOLDEN_SKELETONS, ids=lambda f: f.__name__
+    )
+    def test_skeleton_matches_pin(self, function):
+        cfg = extract_cfg(function.__code__)
+        assert branch_skeleton(cfg) == GOLDEN_SKELETONS[function]
+
+    def test_skeletons_are_json_stable(self):
+        # The skeleton is the cross-version fixture format: it must
+        # round-trip through JSON without losing identity.
+        for function in GOLDEN_SKELETONS:
+            skeleton = branch_skeleton(extract_cfg(function.__code__))
+            encoded = json.dumps(
+                {**skeleton, "branches": [list(b) for b in skeleton["branches"]]}
+            )
+            decoded = json.loads(encoded)
+            assert (
+                tuple(tuple(b) for b in decoded["branches"])
+                == skeleton["branches"]
+            )
+
+
+def _sample_functions():
+    """A spread of extraction subjects, local and stdlib."""
+    import fnmatch
+    import posixpath
+    import string
+    import textwrap as textwrap_mod
+
+    return [
+        count_even,
+        classify,
+        clamp_sum,
+        find_pair,
+        count_words,
+        string.capwords,
+        fnmatch.translate,
+        posixpath.normpath,
+        posixpath.join,
+        textwrap_mod.dedent,
+        textwrap_mod.indent,
+        json.loads,
+    ]
+
+
+class TestCfgInvariants:
+    @pytest.mark.parametrize(
+        "function", _sample_functions(), ids=lambda f: f.__name__
+    )
+    def test_blocks_partition_the_code(self, function):
+        code = function.__code__
+        cfg = extract_cfg(code)
+        instructions = get_instructions(code)
+        offsets = {ins.offset for ins in instructions}
+        assert cfg.num_blocks >= 1
+        starts = [block.start for block in cfg.blocks]
+        assert starts == sorted(starts)
+        assert starts[0] == 0
+        # Every real instruction offset falls inside exactly one block.
+        for ins in instructions:
+            block = cfg.block_at(ins.offset)
+            assert block.start <= ins.offset < block.end
+        # Block starts are themselves instruction offsets.
+        for block in cfg.blocks:
+            assert block.start in offsets
+
+    @pytest.mark.parametrize(
+        "function", _sample_functions(), ids=lambda f: f.__name__
+    )
+    def test_edges_reference_valid_blocks(self, function):
+        cfg = extract_cfg(function.__code__)
+        for src, kind, dst in cfg.edges():
+            assert 0 <= src < cfg.num_blocks
+            assert 0 <= dst < cfg.num_blocks
+            assert kind in ("taken", "fall", "jump")
+        assert cfg.num_edges == len(cfg.edges())
+
+    @pytest.mark.parametrize(
+        "function", _sample_functions(), ids=lambda f: f.__name__
+    )
+    def test_branch_sites_are_ordinal_ordered(self, function):
+        cfg = extract_cfg(function.__code__)
+        for expected, site in enumerate(cfg.branch_sites):
+            assert site.ordinal == expected
+            assert site.taken_target != site.fallthrough
+            assert cfg.site_at(site.offset) is site
+        offsets = [site.offset for site in cfg.branch_sites]
+        assert offsets == sorted(offsets)
+
+    def test_site_at_misses_return_none(self):
+        cfg = extract_cfg(count_even.__code__)
+        taken = {site.offset for site in cfg.branch_sites}
+        for ins in get_instructions(count_even.__code__):
+            if ins.offset not in taken:
+                assert cfg.site_at(ins.offset) is None
+
+    def test_block_at_rejects_outside_offsets(self):
+        cfg = extract_cfg(classify.__code__)
+        with pytest.raises(AnalysisError):
+            cfg.block_at(10_000)
+
+    def test_branchless_function_has_no_sites(self):
+        def straight(a, b):
+            return a + b * 2
+
+        cfg = extract_cfg(straight.__code__)
+        assert cfg.branch_sites == ()
+        assert cfg.num_blocks >= 1
+
+
+class TestCodeObjectHelpers:
+    def test_iter_code_objects_finds_nested(self):
+        source = textwrap.dedent(
+            """
+            def outer(xs):
+                def inner(y):
+                    return y + 1
+                return [inner(x) for x in xs]
+            """
+        )
+        namespace = {}
+        exec(compile(source, "<fixture>", "exec"), namespace)
+        codes = list(iter_code_objects(namespace["outer"].__code__))
+        names = {code.co_name for code in codes}
+        assert "outer" in names
+        assert "inner" in names
+
+    def test_code_key_is_stable_and_descriptive(self):
+        key = code_key(count_even.__code__)
+        assert key[0].endswith("test_cfg_bytecode.py")
+        assert "count_even" in key[1]
+        assert key == code_key(count_even.__code__)
+
+    def test_opcode_sets_cover_this_interpreter(self):
+        sets = opcode_sets()
+        # Each bytecode in the conditional vocabulary must resolve to a
+        # real opcode on the running interpreter and be jump-ish.
+        assert sets.conditional
+        for opcode in sets.conditional:
+            assert dis.opname[opcode] != "<invalid>"

@@ -1,0 +1,121 @@
+"""Real-program workloads end-to-end: registry, store, simulation."""
+
+import pytest
+
+from repro.cfg.corpus import (
+    REAL_WORKLOADS,
+    get_real_workload,
+    is_real_workload,
+    list_real_workloads,
+    make_real_workload,
+)
+from repro.errors import AnalysisError
+from repro.predictors.factory import make_predictor_spec
+from repro.sim.engine import simulate
+from repro.workloads.registry import (
+    clear_cache,
+    list_workloads,
+    make_workload,
+)
+from repro.workloads.store import TraceStore
+
+
+class TestRegistry:
+    def test_real_names_listed_after_synthetic(self):
+        names = list_workloads()
+        for name in list_real_workloads():
+            assert name in names
+        assert "espresso" in names
+
+    def test_real_gcc_is_synthetic_not_real(self):
+        # The calibrated profile named "real_gcc" predates the measured
+        # corpus; membership, not the name prefix, decides dispatch.
+        assert not is_real_workload("real_gcc")
+        assert is_real_workload("real_quicksort")
+
+    def test_unknown_real_workload_raises(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            get_real_workload("real_nonesuch")
+        assert "real_quicksort" in str(excinfo.value)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(AnalysisError):
+            make_real_workload("real_quicksort", length=-1)
+
+    def test_registry_entries_are_complete(self):
+        for name, workload in REAL_WORKLOADS.items():
+            assert workload.name == name
+            assert workload.title
+            assert workload.default_length > 0
+            assert workload.entry in workload.instrument or callable(
+                workload.entry
+            )
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["real_quicksort", "real_binsearch", "real_collatz"]
+    )
+    def test_make_workload_hits_requested_length(self, name):
+        trace = make_workload(name, length=4000, seed=1, cache=False)
+        assert len(trace) == 4000
+        assert trace.name == name
+        assert trace.num_static_branches >= 2
+
+    def test_deterministic_per_seed(self):
+        first = make_workload(
+            "real_wordcount", length=3000, seed=5, cache=False
+        )
+        second = make_workload(
+            "real_wordcount", length=3000, seed=5, cache=False
+        )
+        third = make_workload(
+            "real_wordcount", length=3000, seed=6, cache=False
+        )
+        assert (first.pc == second.pc).all()
+        assert (first.taken == second.taken).all()
+        assert not (first.taken == third.taken).all()
+
+    def test_cache_round_trip(self):
+        clear_cache()
+        first = make_workload("real_collatz", length=2000, seed=0)
+        second = make_workload("real_collatz", length=2000, seed=0)
+        assert first is second
+        clear_cache()
+
+    def test_zero_length_means_one_unit_call(self):
+        trace = make_real_workload("real_collatz", length=0, seed=0)
+        assert len(trace) > 0
+
+    def test_traces_land_in_the_store(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        trace = store.get("real_quicksort", 2500, 4)
+        assert len(trace) == 2500
+        assert store.contains("real_quicksort", 2500, 4)
+        again = store.get("real_quicksort", 2500, 4)
+        assert (again.pc == trace.pc).all()
+        assert (again.taken == trace.taken).all()
+
+    @pytest.mark.parametrize(
+        "scheme,geometry",
+        [("gshare", {"rows": 64, "cols": 4}), ("bimodal", {"cols": 256})],
+    )
+    def test_real_traces_simulate(self, scheme, geometry):
+        trace = make_workload("real_quicksort", length=6000, seed=1)
+        spec = make_predictor_spec(scheme, **geometry)
+        result = simulate(spec, trace)
+        assert 0.0 < result.misprediction_rate < 0.5
+
+    def test_two_level_beats_bimodal_on_correlated_kernel(self):
+        # The wordcount boundary branch carries strong history
+        # correlation; a global-history scheme must exploit it.
+        trace = make_workload("real_wordcount", length=12_000, seed=2)
+        bimodal = simulate(
+            make_predictor_spec("bimodal", cols=256), trace
+        )
+        gshare = simulate(
+            make_predictor_spec("gshare", rows=64, cols=4), trace
+        )
+        assert (
+            gshare.misprediction_rate < bimodal.misprediction_rate
+        )

@@ -1,0 +1,185 @@
+"""Predictability scoring: information theory + simulator alignment.
+
+The headline acceptance test: the information-theoretic ranking
+(residual entropy after the best k-bit history) must rank-correlate
+with per-branch misprediction rates from *actual* two-level
+simulation. If it does, the static scorecard predicts where a
+predictor loses before any sweep runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.branch_report import (
+    branch_breakdown,
+    predictability_alignment,
+)
+from repro.cfg.predictability import (
+    DEFAULT_HISTORY_BITS,
+    analyze_trace,
+)
+from repro.errors import AnalysisError, ConfigurationError
+from repro.predictors.factory import make_predictor_spec
+from repro.sim.engine import simulate
+from repro.traces.trace import BranchTrace
+from repro.workloads.registry import make_workload
+
+
+def _trace_from(pcs, taken):
+    pc = np.asarray(pcs, dtype=np.uint64) * 4 + 0x40_0000
+    taken = np.asarray(taken, dtype=bool)
+    return BranchTrace(
+        pc=pc, taken=taken, target=pc + 16, name="synthetic"
+    )
+
+
+class TestEntropyAndMi:
+    def test_biased_branch_is_biased(self):
+        trace = _trace_from([1] * 400, [True] * 396 + [False] * 4)
+        report = analyze_trace(trace)
+        (branch,) = report.branches
+        assert branch.klass == "biased"
+        assert branch.entropy < 0.1
+        assert branch.taken_rate == pytest.approx(0.99)
+
+    def test_alternating_branch_is_correlated(self):
+        # T,N,T,N... has maximal entropy but is fully determined by
+        # one bit of its own history.
+        trace = _trace_from([1] * 512, [bool(i % 2) for i in range(512)])
+        report = analyze_trace(trace)
+        (branch,) = report.branches
+        assert branch.entropy > 0.99
+        assert branch.local_mi > 0.9
+        assert branch.klass == "correlated"
+        assert branch.residual_entropy < 0.1
+
+    def test_random_branch_is_hard(self):
+        rng = np.random.default_rng(11)
+        trace = _trace_from([1] * 4096, rng.random(4096) < 0.5)
+        report = analyze_trace(trace)
+        (branch,) = report.branches
+        assert branch.klass == "hard"
+        assert branch.entropy > 0.99
+        assert branch.best_mi < 0.25 * branch.entropy
+
+    def test_cross_branch_correlation_shows_in_global_mi(self):
+        # Branch 2 repeats whatever branch 1 just did: zero local
+        # pattern of its own beyond what global history exposes.
+        rng = np.random.default_rng(5)
+        leader = rng.random(2048) < 0.5
+        pcs, outcomes = [], []
+        for i in range(2048):
+            pcs.extend([1, 2])
+            outcomes.extend([bool(leader[i]), bool(leader[i])])
+        report = analyze_trace(_trace_from(pcs, outcomes))
+        follower = next(
+            b for b in report.branches if b.pc == 0x40_0000 + 2 * 4
+        )
+        leader_branch = next(
+            b for b in report.branches if b is not follower
+        )
+        assert follower.global_mi > 0.9
+        assert follower.klass == "correlated"
+        assert leader_branch.klass == "hard"
+
+    def test_informative_bits_count_sparse_correlation(self):
+        trace = _trace_from([1] * 512, [bool(i % 2) for i in range(512)])
+        report = analyze_trace(trace)
+        (branch,) = report.branches
+        # Every bit of an alternating stream determines the outcome.
+        assert branch.informative_bits >= 1
+        assert report.correlation_sparsity > 0.0
+
+
+class TestReportSurface:
+    @pytest.fixture(scope="class")
+    def report(self):
+        trace = make_workload("real_quicksort", length=8000, seed=2)
+        return analyze_trace(trace)
+
+    def test_branches_sorted_hottest_first(self, report):
+        executions = [b.executions for b in report.branches]
+        assert executions == sorted(executions, reverse=True)
+        assert report.dynamic_branches == sum(executions)
+
+    def test_class_shares_partition_the_stream(self, report):
+        shares = report.class_shares()
+        assert set(shares) == {"biased", "correlated", "hard"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_findings_have_summary_first(self, report):
+        findings = report.findings()
+        assert findings[0].check == "predict.summary"
+        assert findings[0].severity == "info"
+        for finding in findings[1:]:
+            assert finding.check in (
+                "predict.hard-branch",
+                "predict.correlated-branch",
+            )
+            assert finding.point.startswith("pc=0x")
+
+    def test_render_and_json_roundtrip(self, report):
+        text = report.render(top=5)
+        assert "predictability of real_quicksort" in text
+        payload = report.to_json()
+        assert payload["dynamic_branches"] == report.dynamic_branches
+        assert len(payload["branches"]) == len(report.branches)
+        assert payload["history_bits"] == DEFAULT_HISTORY_BITS
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        empty = BranchTrace(
+            pc=np.empty(0, dtype=np.uint64),
+            taken=np.empty(0, dtype=bool),
+            target=np.empty(0, dtype=np.uint64),
+            name="empty",
+        )
+        with pytest.raises(AnalysisError):
+            analyze_trace(empty)
+
+    @pytest.mark.parametrize("bits", [0, -1, 17])
+    def test_history_bits_bounds(self, bits):
+        trace = _trace_from([1] * 16, [True] * 16)
+        with pytest.raises(AnalysisError):
+            analyze_trace(trace, history_bits=bits)
+
+
+class TestSimulatorAlignment:
+    @pytest.mark.parametrize(
+        "workload", ["real_quicksort", "real_wordcount"]
+    )
+    def test_residual_entropy_ranks_gshare_losses(self, workload):
+        trace = make_workload(workload, length=20_000, seed=3)
+        spec = make_predictor_spec("gshare", rows=256, cols=4)
+        result = simulate(spec, trace)
+        records = branch_breakdown(result, trace)
+        report = analyze_trace(trace)
+        residual = {b.pc: b.residual_entropy for b in report.branches}
+        rho = predictability_alignment(records, residual)
+        assert rho > 0.5, (
+            f"{workload}: residual-entropy ranking does not track "
+            f"simulated mispredictions (spearman {rho:+.3f})"
+        )
+
+    def test_hard_branches_mispredict_more_than_biased(self):
+        trace = make_workload("real_quicksort", length=20_000, seed=3)
+        result = simulate(
+            make_predictor_spec("gshare", rows=256, cols=4), trace
+        )
+        by_pc = {r.pc: r for r in branch_breakdown(result, trace)}
+        report = analyze_trace(trace)
+        rates = {"biased": [], "correlated": [], "hard": []}
+        for branch in report.branches:
+            if branch.executions >= 64:
+                rates[branch.klass].append(
+                    by_pc[branch.pc].misprediction_rate
+                )
+        if rates["hard"] and rates["biased"]:
+            assert (
+                np.mean(rates["hard"]) > np.mean(rates["biased"])
+            )
+
+    def test_alignment_needs_enough_branches(self):
+        with pytest.raises(ConfigurationError):
+            predictability_alignment([], {})

@@ -1,0 +1,177 @@
+"""Runtime profiler: CFG soundness and trace materialization.
+
+The acceptance property: every (branch, successor) edge observed at
+runtime exists in the statically extracted CFG — zero violations,
+zero unknown sites — across a spread of control-flow shapes, on
+whichever backend (``sys.monitoring`` or ``settrace``) this
+interpreter uses.
+"""
+
+import random
+
+import pytest
+
+from repro.cfg.corpus import (
+    binary_search,
+    collatz_steps,
+    count_words,
+    quicksort,
+)
+from repro.cfg.profile import BranchProfiler, profile_calls
+from repro.errors import AnalysisError
+from repro.traces.trace import BranchTrace
+
+from tests.test_cfg_bytecode import (
+    clamp_sum,
+    classify,
+    count_even,
+    find_pair,
+)
+
+
+def with_try_except(values):
+    hits = 0
+    for value in values:
+        try:
+            if 100 // value > 10:
+                hits += 1
+        except ZeroDivisionError:
+            hits -= 1
+    return hits
+
+
+def with_break_continue(values):
+    total = 0
+    for value in values:
+        if value < 0:
+            continue
+        if value > 100:
+            break
+        total += value
+    return total
+
+
+#: (function, driver) pairs covering ≥10 distinct control-flow shapes.
+SOUNDNESS_CASES = [
+    (count_even, lambda f: f(list(range(37)))),
+    (classify, lambda f: [f(x) for x in range(-5, 15)]),
+    (clamp_sum, lambda f: f(list(range(-10, 30)), 0, 20)),
+    (find_pair, lambda f: f([3, 1, 4, 1, 5, 9, 2, 6], 11)),
+    (count_words, lambda f: f("the quick  brown\nfox jumps ")),
+    (binary_search, lambda f: [f(list(range(0, 64, 2)), k) for k in range(10)]),
+    (collatz_steps, lambda f: [f(n) for n in range(2, 40)]),
+    (quicksort, lambda f: f([9, 2, 7, 2, 8, 1, 0, 5, 5, 3] * 3)),
+    (with_try_except, lambda f: f([0, 1, 2, 50, 0, 3])),
+    (with_break_continue, lambda f: f([-1, 5, 12, -3, 7, 200, 1])),
+]
+
+
+class TestCfgSoundness:
+    @pytest.mark.parametrize(
+        "function,driver", SOUNDNESS_CASES, ids=lambda c: getattr(c, "__name__", "")
+    )
+    def test_observed_edges_exist_statically(self, function, driver):
+        profiler = BranchProfiler([function])
+        with profiler:
+            driver(function)
+        assert profiler.violations == []
+        assert profiler.unknown_sites == 0
+        assert len(profiler) > 0
+        # Every observed (site, outcome) resolves to a static site.
+        for slot, edges in profiler.observed_edges().items():
+            ordinals = {
+                site.ordinal for site in profiler.cfgs[slot].branch_sites
+            }
+            for ordinal, taken in edges:
+                assert ordinal in ordinals
+                assert isinstance(taken, bool)
+
+    def test_all_functions_at_once_interleave(self):
+        functions = [function for function, _ in SOUNDNESS_CASES]
+        profiler = BranchProfiler(functions)
+        with profiler:
+            for function, driver in SOUNDNESS_CASES:
+                driver(function)
+        assert profiler.violations == []
+        assert profiler.unknown_sites == 0
+        # Sites from multiple code objects appear in one stream.
+        assert len(profiler.observed_edges()) >= 5
+
+
+class TestProfilerLifecycle:
+    def test_reentry_is_rejected(self):
+        profiler = BranchProfiler([classify])
+        with profiler:
+            with pytest.raises(AnalysisError):
+                profiler.__enter__()
+
+    def test_non_python_callable_is_rejected(self):
+        with pytest.raises(AnalysisError):
+            BranchProfiler([len])
+
+    def test_empty_profiler_cannot_build_trace(self):
+        profiler = BranchProfiler([classify])
+        with pytest.raises(AnalysisError):
+            profiler.build_trace("empty")
+
+    def test_uninstrumented_code_is_not_recorded(self):
+        profiler = BranchProfiler([classify])
+        with profiler:
+            count_even(list(range(20)))  # not instrumented
+        assert len(profiler) == 0
+
+
+class TestTraceMaterialization:
+    def test_trace_matches_event_stream(self):
+        profiler = BranchProfiler([collatz_steps])
+        with profiler:
+            for n in range(2, 30):
+                collatz_steps(n)
+        trace = profiler.build_trace("collatz")
+        assert isinstance(trace, BranchTrace)
+        assert len(trace) == len(profiler)
+        assert trace.name == "collatz"
+        layout = profiler.site_layout()
+        addresses = {pc for pc, _target in layout.values()}
+        assert set(int(pc) for pc in trace.pc) <= addresses
+
+    def test_backward_taken_sites_target_function_base(self):
+        profiler = BranchProfiler([count_even])
+        layout = profiler.site_layout()
+        for (slot, ordinal), (pc, target) in layout.items():
+            site = profiler.cfgs[slot].branch_sites[ordinal]
+            if site.taken_target <= site.offset:
+                assert target < pc  # loop-closing shape
+            else:
+                assert target > pc
+
+    def test_layout_is_word_aligned_and_disjoint(self):
+        profiler = BranchProfiler([quicksort, binary_search])
+        layout = profiler.site_layout()
+        addresses = [pc for pc, _ in layout.values()]
+        assert len(addresses) == len(set(addresses))
+        assert all(address % 4 == 0 for address in addresses)
+
+    def test_profiling_is_deterministic(self):
+        def run_once():
+            rng = random.Random(7)
+            values = [rng.randrange(100) for _ in range(50)]
+            profiler = BranchProfiler([quicksort])
+            with profiler:
+                quicksort(values)
+            return profiler.build_trace("qs")
+
+        first, second = run_once(), run_once()
+        assert (first.pc == second.pc).all()
+        assert (first.taken == second.taken).all()
+
+
+class TestProfileCalls:
+    def test_one_shot_wrapper(self):
+        trace = profile_calls(
+            lambda: [collatz_steps(n) for n in range(5, 25)],
+            instrument=[collatz_steps],
+            name="wrapped",
+        )
+        assert trace.name == "wrapped"
+        assert len(trace) > 0

@@ -1,0 +1,124 @@
+"""Dominators, natural loops, and the static branch taxonomy."""
+
+import pytest
+
+from repro.cfg.bytecode import extract_cfg
+from repro.cfg.structure import (
+    BRANCH_CLASSES,
+    analyze_structure,
+    branch_skeleton,
+)
+
+from tests.test_cfg_bytecode import (
+    classify,
+    count_even,
+    count_words,
+    find_pair,
+)
+
+
+def loop_forever_shape(n):
+    # A while-loop body with both a guard and a back edge.
+    total = 0
+    while n > 0:
+        if n % 3 == 0:
+            total += n
+        n -= 1
+    return total
+
+
+class TestDominators:
+    def test_entry_dominates_itself(self):
+        info = analyze_structure(extract_cfg(classify.__code__))
+        assert info.idom[0] == 0
+
+    def test_idom_is_a_tree_rooted_at_entry(self):
+        info = analyze_structure(extract_cfg(find_pair.__code__))
+        for block in info.reachable:
+            # Walking idom links always terminates at the entry.
+            seen = set()
+            current = block
+            while current != 0:
+                assert current not in seen
+                seen.add(current)
+                current = info.idom[current]
+
+    def test_all_blocks_reachable_in_straightline_functions(self):
+        cfg = extract_cfg(count_even.__code__)
+        info = analyze_structure(cfg)
+        assert info.reachable == frozenset(range(cfg.num_blocks))
+
+
+class TestLoops:
+    def test_single_loop_detected(self):
+        info = analyze_structure(extract_cfg(count_even.__code__))
+        assert len(info.loops) == 1
+        assert info.max_nesting == 1
+
+    def test_nested_loops_nest(self):
+        info = analyze_structure(extract_cfg(find_pair.__code__))
+        assert len(info.loops) == 2
+        assert info.max_nesting == 2
+        # The inner loop body is a subset of the outer loop body.
+        inner, outer = sorted(info.loops, key=lambda lp: len(lp.body))
+        assert inner.body < outer.body
+
+    def test_loop_header_in_its_own_body(self):
+        for function in (count_even, find_pair, loop_forever_shape):
+            info = analyze_structure(extract_cfg(function.__code__))
+            for loop in info.loops:
+                assert loop.header in loop
+
+    def test_branchless_code_has_no_loops(self):
+        def straight(a):
+            return a * 2 + 1
+
+        info = analyze_structure(extract_cfg(straight.__code__))
+        assert info.loops == ()
+        assert info.back_edges == frozenset()
+        assert info.reducible
+
+
+class TestBranchClasses:
+    def test_every_site_is_classified(self):
+        for function in (classify, count_even, count_words, find_pair):
+            cfg = extract_cfg(function.__code__)
+            info = analyze_structure(cfg)
+            assert set(info.branch_classes) == {
+                site.ordinal for site in cfg.branch_sites
+            }
+            for klass in info.branch_classes.values():
+                assert klass in BRANCH_CLASSES
+
+    def test_pure_conditionals_are_guards(self):
+        info = analyze_structure(extract_cfg(classify.__code__))
+        assert set(info.branch_classes.values()) == {"guard"}
+
+    def test_while_loop_branch_touches_the_loop(self):
+        # The while-condition branch compiles to a back edge on
+        # 3.10/3.11 and a rotated loop-exit on 3.12 — either way it
+        # must be loop-involved, never a plain guard; the `if n % 3`
+        # inside the body stays a guard on every interpreter.
+        cfg = extract_cfg(loop_forever_shape.__code__)
+        info = analyze_structure(cfg)
+        classes = [
+            info.branch_classes[site.ordinal] for site in cfg.branch_sites
+        ]
+        assert any(k in ("back-edge", "loop-exit") for k in classes)
+        assert "guard" in classes
+
+    def test_skeleton_agrees_with_explicit_info(self):
+        cfg = extract_cfg(count_words.__code__)
+        info = analyze_structure(cfg)
+        assert branch_skeleton(cfg) == branch_skeleton(cfg, info)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("function", [count_even, find_pair, classify])
+    def test_repeated_analysis_is_identical(self, function):
+        first = analyze_structure(extract_cfg(function.__code__))
+        second = analyze_structure(extract_cfg(function.__code__))
+        assert first.idom == second.idom
+        assert first.loops == second.loops
+        assert first.branch_classes == second.branch_classes
+        assert first.nesting_depth == second.nesting_depth

@@ -201,6 +201,74 @@ class TestRawWrite:
         )
 
 
+class TestVersionGate:
+    def test_dis_opmap_flagged_outside_compat(self):
+        findings = lint('code = dis.opmap["POP_JUMP_IF_TRUE"]\n')
+        assert checks(findings) == ["code.version-gate"]
+        assert findings[0].severity == "error"
+
+    def test_sys_monitoring_flagged_outside_compat(self):
+        findings = lint("events = sys.monitoring.events\n")
+        assert checks(findings) == ["code.version-gate"]
+
+    def test_compat_module_is_exempt(self):
+        assert (
+            lint('code = dis.opmap["NOP"]\n', is_compat=True) == []
+        )
+        assert lint("m = sys.monitoring\n", is_compat=True) == []
+
+    def test_other_attributes_are_fine(self):
+        assert lint("names = dis.opname\n") == []
+        assert lint("v = sys.version_info\n") == []
+
+    def test_allow_marker_suppresses(self):
+        assert (
+            lint(
+                'x = dis.opmap["NOP"]  # check: allow(version-gate)\n'
+            )
+            == []
+        )
+
+
+class TestSetIter:
+    def test_set_literal_iteration_flagged(self):
+        findings = lint(
+            "for x in {1, 2, 3}:\n    pass\n", is_analysis=True
+        )
+        assert checks(findings) == ["code.set-iter"]
+        assert findings[0].severity == "error"
+
+    def test_set_call_and_union_flagged(self):
+        findings = lint(
+            "for x in set(xs) | {0}:\n    pass\n", is_analysis=True
+        )
+        assert checks(findings) == ["code.set-iter"]
+
+    def test_set_comprehension_flagged(self):
+        findings = lint(
+            "for x in {y for y in ys}:\n    pass\n", is_analysis=True
+        )
+        assert checks(findings) == ["code.set-iter"]
+
+    def test_sorted_set_is_fine(self):
+        assert (
+            lint("for x in sorted({1, 2}):\n    pass\n", is_analysis=True)
+            == []
+        )
+
+    def test_non_analysis_modules_are_exempt(self):
+        assert lint("for x in {1, 2}:\n    pass\n") == []
+
+    def test_allow_marker_suppresses(self):
+        assert (
+            lint(
+                "for x in {1, 2}:  # check: allow(set-iter)\n    pass\n",
+                is_analysis=True,
+            )
+            == []
+        )
+
+
 class TestSyntaxHandling:
     def test_unparseable_source_is_a_finding(self):
         findings = lint("def f(:\n")

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import TraceError
 from repro.traces import BranchTrace, run_length_counts, transition_rate
+from repro.traces.stats import outcome_entropy, per_branch_entropy
 from repro.workloads import TraceStore, make_workload
 
 
@@ -73,6 +74,65 @@ class TestRunLengths:
     def test_empty_rejected(self):
         with pytest.raises(TraceError):
             run_length_counts(trace_of([]))
+
+
+class TestOutcomeEntropy:
+    def test_fair_coin_is_one_bit(self):
+        assert outcome_entropy(0.5) == pytest.approx(1.0)
+
+    def test_boundaries_are_zero(self):
+        assert outcome_entropy(0.0) == 0.0
+        assert outcome_entropy(1.0) == 0.0
+
+    def test_symmetry(self):
+        for rate in (0.1, 0.25, 0.4):
+            assert outcome_entropy(rate) == pytest.approx(
+                outcome_entropy(1.0 - rate)
+            )
+
+    def test_monotone_toward_half(self):
+        rates = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        values = [outcome_entropy(r) for r in rates]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("rate", [-0.01, 1.01, 2.0])
+    def test_out_of_range_rejected(self, rate):
+        with pytest.raises(TraceError):
+            outcome_entropy(rate)
+
+
+class TestPerBranchEntropy:
+    def test_empty_trace_rejected(self):
+        empty = BranchTrace(
+            pc=np.empty(0, dtype=np.uint64),
+            taken=np.empty(0, dtype=bool),
+            target=np.empty(0, dtype=np.uint64),
+            name="empty",
+        )
+        with pytest.raises(TraceError):
+            per_branch_entropy(empty)
+
+    def test_single_branch_trace(self):
+        trace = trace_of([(0x100, i % 2 == 0) for i in range(40)])
+        entropies = per_branch_entropy(trace)
+        assert set(entropies) == {0x100}
+        assert entropies[0x100] == pytest.approx(1.0)
+
+    def test_all_taken_stream_has_zero_entropy(self):
+        trace = trace_of(
+            [(0x100, True)] * 30 + [(0x200, True)] * 10
+        )
+        entropies = per_branch_entropy(trace)
+        assert entropies == {0x100: 0.0, 0x200: 0.0}
+
+    def test_mixed_branches_score_independently(self):
+        trace = trace_of(
+            [(0x100, True)] * 20
+            + [(0x200, i % 2 == 0) for i in range(20)]
+        )
+        entropies = per_branch_entropy(trace)
+        assert entropies[0x100] == 0.0
+        assert entropies[0x200] == pytest.approx(1.0)
 
 
 class TestTraceStore:

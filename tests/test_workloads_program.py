@@ -198,8 +198,10 @@ class TestCalibration:
 class TestRegistry:
     def test_list_workloads(self):
         names = list_workloads()
-        assert len(names) == 14
+        # 14 synthetic profiles plus the measured real_* suite.
+        assert len(names) == 18
         assert "espresso" in names and "real_gcc" in names
+        assert "real_quicksort" in names
 
     def test_cache_returns_same_object(self):
         a = make_workload("compress", length=2_000, seed=5)
