@@ -1,0 +1,628 @@
+"""Static batchability planner: ``repro check batchplan``.
+
+The top ROADMAP item — advance *all* splits of a tier per trace pass —
+is only sound if three cross-config properties hold, and this pass
+proves them per tier from the symbolic index algebra
+(:mod:`repro.check.symbolic`) instead of assuming them:
+
+a. **Index-stream sharing.** Every split's counter-index stream must be
+   a pure static function of one shared decoded trace pass. Provable
+   exactly: the split's index expression may only read the
+   :data:`~repro.check.symbolic.SHARED_SYMBOLS` streams (word address,
+   global history, lagged targets), each derivable once at the widest
+   requested width. Per-address/per-set histories fail this — their
+   reset prefix is width-dependent, so each split needs its own
+   first-level pass.
+
+b. **Transform equivalence.** Splits of one tier should differ only by
+   bit-width truncation or XOR-permutation of the same symbol set; the
+   planner groups them into classes via width-abstracted per-bit tokens
+   (:func:`repro.check.symbolic.split_tokens`) and — because a prover
+   bug here would corrupt simulations silently — cross-checks every
+   split's symbolic expression against the concrete
+   :func:`repro.sim.vectorized.index_stream` on micro traces,
+   demanding *exact* agreement.
+
+c. **State-stacking safety.** All splits' counter state can live in one
+   stacked array with config ``i`` owning flat indices
+   ``[i * 2^n, (i+1) * 2^n)`` only if every index expression's proven
+   width equals the tier exponent (no cross-config aliasing), counter
+   widths agree, and the splits share one first-level geometry
+   (:func:`repro.predictors.specs.first_level_geometry`).
+
+The result is a :class:`BatchPlan` — content-keyed like ``sweep_key``,
+written with :func:`repro.runtime.checkpoint.atomic_write_text` — that
+the pilot batched kernel (:func:`repro.sim.vectorized.simulate_batched_tier`,
+``repro run --batched``) consumes. Findings integrate with the standard
+:class:`~repro.check.findings.CheckReport` contract: proven tiers are
+``info``, rejected tiers ``warning`` (blocking under ``--strict``), and
+a symbolic/concrete disagreement is an ``error``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.check.findings import Finding
+from repro.check.symbolic import (
+    SHARED_SYMBOLS,
+    Expr,
+    SplitTokens,
+    expr_width,
+    free_symbols,
+    from_dict,
+    render,
+    split_tokens,
+    symbolic_index,
+    to_dict,
+    transform_compatible,
+)
+from repro.errors import CheckError
+from repro.obs.metrics import counter
+from repro.predictors.specs import first_level_geometry
+from repro.sim.sweep import SWEEPABLE_SCHEMES, spec_for_point
+from repro.traces.trace import BranchTrace
+
+#: Plan artifact format tag (bumped on incompatible schema changes).
+PLAN_FORMAT = "repro.batchplan/1"
+
+#: Figures -> the scheme their surface sweeps (Figures 4, 6, 9).
+FIGURE_SCHEMES: Dict[str, str] = {
+    "fig4": "gas",
+    "fig6": "gshare",
+    "fig9": "pas",
+}
+
+#: Default tier exponents planned when none are requested: one small
+#: tier (fast to verify) and one at Figure-4 scale.
+DEFAULT_PLAN_BITS: Tuple[int, ...] = (6, 10)
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """One (columns x rows) split of a tier, with its proven index
+    expression and transform-equivalence class."""
+
+    scheme: str
+    col_bits: int
+    row_bits: int
+    width: int
+    transform_class: int
+    expr: Expr
+
+    @property
+    def size_label(self) -> str:
+        return f"2^{self.col_bits}x2^{self.row_bits}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "col_bits": self.col_bits,
+            "row_bits": self.row_bits,
+            "width": self.width,
+            "class": self.transform_class,
+            "index_fn": render(self.expr),
+            "expr": to_dict(self.expr),
+        }
+
+
+@dataclass(frozen=True)
+class TierPlan:
+    """The prover's verdict on one constant-size tier."""
+
+    n: int
+    counter_bits: int
+    splits: Tuple[SplitPlan, ...]
+    #: (a) all index streams derivable from one shared decode.
+    shareable: bool
+    #: (c) state stackable into one (n_configs, 2^n) array.
+    stackable: bool
+    num_classes: int
+    rejections: Tuple[str, ...]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "n": self.n,
+            "counter_bits": self.counter_bits,
+            "shareable": self.shareable,
+            "stackable": self.stackable,
+            "classes": self.num_classes,
+            "rejections": list(self.rejections),
+            "splits": [split.to_json() for split in self.splits],
+        }
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Proven batchability of one scheme over a set of tiers."""
+
+    scheme: str
+    size_bits: Tuple[int, ...]
+    bht_entries: Optional[int]
+    bht_assoc: int
+    counter_bits: int
+    tiers: Tuple[TierPlan, ...]
+
+    def payload(self) -> Dict[str, Any]:
+        """Everything the key signs (the artifact minus the key)."""
+        return {
+            "format": PLAN_FORMAT,
+            "scheme": self.scheme,
+            "size_bits": list(self.size_bits),
+            "bht_entries": self.bht_entries,
+            "bht_assoc": self.bht_assoc,
+            "counter_bits": self.counter_bits,
+            "tiers": [tier.to_json() for tier in self.tiers],
+        }
+
+    @property
+    def key(self) -> str:
+        """Content key over the canonical payload (``sweep_key`` style):
+        equal keys <=> equal plans, so a consumer can verify the
+        artifact it loads is the artifact the prover emitted."""
+        return plan_key(self.payload())
+
+    def to_json(self) -> Dict[str, Any]:
+        out = self.payload()
+        out["key"] = self.key
+        return out
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=False)
+
+    def tier(self, n: int) -> TierPlan:
+        for tier in self.tiers:
+            if tier.n == n:
+                return tier
+        raise CheckError(f"plan has no tier 2^{n}; tiers: {self.size_bits}")
+
+
+def plan_key(payload: Mapping[str, Any]) -> str:
+    """Digest of the canonical JSON encoding (16 hex chars)."""
+    canonical = json.dumps(dict(payload), sort_keys=True)
+    return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:16]
+
+
+def load_plan(data: Mapping[str, Any]) -> BatchPlan:
+    """Reconstruct a :class:`BatchPlan` from its JSON artifact,
+    verifying format and content key."""
+    if data.get("format") != PLAN_FORMAT:
+        raise CheckError(
+            f"not a {PLAN_FORMAT} artifact: format="
+            f"{data.get('format')!r}"
+        )
+    stated = data.get("key")
+    body = {k: v for k, v in data.items() if k != "key"}
+    actual = plan_key(body)
+    if stated != actual:
+        raise CheckError(
+            f"batch plan content key mismatch: artifact says {stated!r}, "
+            f"payload hashes to {actual!r} — refusing a tampered or "
+            "hand-edited plan"
+        )
+    tiers = []
+    for tier_data in data["tiers"]:
+        splits = tuple(
+            SplitPlan(
+                scheme=str(s["scheme"]),
+                col_bits=int(s["col_bits"]),
+                row_bits=int(s["row_bits"]),
+                width=int(s["width"]),
+                transform_class=int(s["class"]),
+                expr=from_dict(s["expr"]),
+            )
+            for s in tier_data["splits"]
+        )
+        tiers.append(
+            TierPlan(
+                n=int(tier_data["n"]),
+                counter_bits=int(tier_data["counter_bits"]),
+                splits=splits,
+                shareable=bool(tier_data["shareable"]),
+                stackable=bool(tier_data["stackable"]),
+                num_classes=int(tier_data["classes"]),
+                rejections=tuple(tier_data["rejections"]),
+            )
+        )
+    return BatchPlan(
+        scheme=str(data["scheme"]),
+        size_bits=tuple(int(n) for n in data["size_bits"]),
+        bht_entries=(
+            None
+            if data["bht_entries"] is None
+            else int(data["bht_entries"])
+        ),
+        bht_assoc=int(data["bht_assoc"]),
+        counter_bits=int(data["counter_bits"]),
+        tiers=tuple(tiers),
+    )
+
+
+# ----------------------------------------------------------------------
+# The prover
+# ----------------------------------------------------------------------
+
+
+def plan_tier(
+    scheme: str,
+    n: int,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    counter_bits: int = 2,
+) -> TierPlan:
+    """Prove (or refuse) batchability of one tier's ``n + 1`` splits."""
+    if scheme not in SWEEPABLE_SCHEMES:
+        raise CheckError(
+            f"batch planning covers {SWEEPABLE_SCHEMES}, not {scheme!r}"
+        )
+    if n < 1:
+        raise CheckError(f"tier exponent must be >= 1, got {n}")
+
+    specs = [
+        spec_for_point(
+            scheme,
+            col_bits=n - row_bits,
+            row_bits=row_bits,
+            bht_entries=bht_entries,
+            bht_assoc=bht_assoc,
+            counter_bits=counter_bits,
+        )
+        for row_bits in range(n + 1)
+    ]
+    exprs = [symbolic_index(spec) for spec in specs]
+    rejections: List[str] = []
+
+    # (a) sharing: only streams derivable from one shared decode.
+    unshared = sorted(
+        {
+            name
+            for expr in exprs
+            for name, _param in free_symbols(expr)
+            if name not in SHARED_SYMBOLS
+        }
+    )
+    shareable = not unshared
+    if unshared:
+        rejections.append(
+            "index streams read per-config symbols "
+            f"{', '.join(unshared)}; their reset prefix is "
+            "width-dependent, so splits cannot share one decode"
+        )
+
+    # (c) stacking: uniform first-level geometry ...
+    geometries = sorted(
+        {str(first_level_geometry(spec)) for spec in specs}
+    )
+    if len(geometries) > 1:
+        rejections.append(
+            "mixed first-level geometry across splits "
+            f"({', '.join(geometries)}); stacked state would mix "
+            "history sources"
+        )
+    # ... and every index provably inside the split's own 2^n block.
+    widths = [expr_width(expr) for expr in exprs]
+    for spec, width in zip(specs, widths):
+        if width is None or width > n:
+            rejections.append(
+                f"split {spec.size_label}: index width {width} exceeds "
+                f"the tier exponent {n}; stacked blocks could alias"
+            )
+    stackable = not rejections
+
+    # (b) transform-equivalence classes via width-abstracted tokens.
+    # Prefix-compatibility is not transitive (the row_bits = 0 edge has
+    # an empty row region and matches anything there), so a split joins
+    # a class only if it is compatible with *every* member.
+    class_members: List[List[SplitTokens]] = []
+    splits: List[SplitPlan] = []
+    for spec, expr, width in zip(specs, exprs, widths):
+        tokens = split_tokens(expr, spec.column_bits)
+        assigned = None
+        for class_id, members in enumerate(class_members):
+            if all(
+                transform_compatible(tokens, member) for member in members
+            ):
+                assigned = class_id
+                members.append(tokens)
+                break
+        if assigned is None:
+            assigned = len(class_members)
+            class_members.append([tokens])
+        splits.append(
+            SplitPlan(
+                scheme=spec.scheme,
+                col_bits=spec.column_bits,
+                row_bits=spec.history_bits if spec.rows > 1 else 0,
+                width=int(width or 0),
+                transform_class=assigned,
+                expr=expr,
+            )
+        )
+    return TierPlan(
+        n=n,
+        counter_bits=counter_bits,
+        splits=tuple(splits),
+        shareable=shareable,
+        stackable=stackable,
+        num_classes=len(class_members),
+        rejections=tuple(rejections),
+    )
+
+
+def build_batchplan(
+    scheme: str,
+    size_bits: Sequence[int] = DEFAULT_PLAN_BITS,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    counter_bits: int = 2,
+) -> BatchPlan:
+    """Plan every requested tier of one scheme."""
+    bits = tuple(sorted(set(int(n) for n in size_bits)))
+    if not bits:
+        raise CheckError("no tier exponents to plan")
+    tiers = tuple(
+        plan_tier(
+            scheme,
+            n,
+            bht_entries=bht_entries,
+            bht_assoc=bht_assoc,
+            counter_bits=counter_bits,
+        )
+        for n in bits
+    )
+    return BatchPlan(
+        scheme=scheme,
+        size_bits=bits,
+        bht_entries=bht_entries,
+        bht_assoc=bht_assoc,
+        counter_bits=counter_bits,
+        tiers=tiers,
+    )
+
+
+# ----------------------------------------------------------------------
+# Symbolic-vs-concrete verification on micro traces
+# ----------------------------------------------------------------------
+
+
+def verification_micros() -> Dict[str, Callable[[], BranchTrace]]:
+    """Micro workloads the prover cross-checks against — small enough
+    to verify every split exactly, diverse enough to exercise PC
+    spread, history depth, correlation, and interference."""
+    from repro.workloads.micro import (
+        alternating_trace,
+        correlated_pair_trace,
+        interference_field_trace,
+        loop_trace,
+    )
+
+    return {
+        "loop": lambda: loop_trace(trips=7, repeats=48),
+        "alternating": lambda: alternating_trace(384),
+        "correlated-pair": lambda: correlated_pair_trace(
+            512, noise=0.1, seed=3
+        ),
+        "interference-field": lambda: interference_field_trace(
+            branches=8, length=1536, seed=1
+        ),
+    }
+
+
+def verify_tier_plan(
+    tier: TierPlan,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    micros: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Check every split's symbolic expression against the concrete
+    :func:`~repro.sim.vectorized.index_stream` on micro traces.
+
+    Returns mismatch descriptions (empty = exact agreement everywhere).
+    The comparison is bitwise equality of the full index streams — the
+    strongest statement short of running the real benchmarks.
+    """
+    from repro.check.symbolic import evaluate
+    from repro.sim.vectorized import index_stream, tier_environment
+
+    factories = verification_micros()
+    names = list(micros) if micros else sorted(factories)
+    unknown = [name for name in names if name not in factories]
+    if unknown:
+        raise CheckError(
+            f"unknown verification micro(s) {unknown}; "
+            f"available: {sorted(factories)}"
+        )
+    mismatches: List[str] = []
+    scheme = tier_scheme(tier)
+    for name in names:
+        trace = factories[name]()
+        for split in tier.splits:
+            spec = spec_for_point(
+                scheme,
+                col_bits=split.col_bits,
+                row_bits=split.row_bits,
+                bht_entries=bht_entries,
+                bht_assoc=bht_assoc,
+                counter_bits=tier.counter_bits,
+            )
+            concrete = np.asarray(index_stream(spec, trace), dtype=np.int64)
+            symbolic = evaluate(split.expr, tier_environment([spec], trace))
+            if not np.array_equal(concrete, symbolic):
+                first = int(
+                    np.nonzero(concrete != symbolic)[0][0]
+                )
+                mismatches.append(
+                    f"{split.size_label} on {name}: symbolic "
+                    f"{render(split.expr)} diverges from concrete "
+                    f"index_stream at access {first} "
+                    f"({int(symbolic[first])} != {int(concrete[first])})"
+                )
+    return mismatches
+
+
+def tier_scheme(tier: TierPlan) -> str:
+    """The sweep scheme a tier was planned for (its non-degenerate
+    splits' scheme; the ``row_bits = 0`` edge is always bimodal)."""
+    for split in tier.splits:
+        if split.scheme != "bimodal":
+            return split.scheme
+    return "bimodal"
+
+
+# ----------------------------------------------------------------------
+# The check pass
+# ----------------------------------------------------------------------
+
+
+def check_batchplan(
+    schemes: Optional[Sequence[str]] = None,
+    figure: Optional[str] = None,
+    size_bits: Optional[Sequence[int]] = None,
+    bht_entries: Optional[int] = None,
+    bht_assoc: int = 4,
+    micros: Optional[Sequence[str]] = None,
+    plan_out: Optional[str] = None,
+    verify: bool = True,
+) -> List[Finding]:
+    """Run the batchability prover and report per-tier verdicts.
+
+    Severity contract: a proven tier is ``info``; a tier rejected for
+    batching is ``warning`` (the serial path still covers it — blocking
+    only under ``--strict``); a symbolic/concrete disagreement or an
+    internal fault is ``error``/exit 2.
+    """
+    if figure is not None:
+        if figure not in FIGURE_SCHEMES:
+            raise CheckError(
+                f"unknown figure {figure!r}; choose from "
+                f"{sorted(FIGURE_SCHEMES)}"
+            )
+        if schemes:
+            raise CheckError("pass either --figure or --scheme, not both")
+        schemes = (FIGURE_SCHEMES[figure],)
+    selected = tuple(schemes) if schemes else ("gas", "gshare", "pas")
+    for scheme in selected:
+        if scheme not in SWEEPABLE_SCHEMES:
+            raise CheckError(
+                f"batch planning covers {SWEEPABLE_SCHEMES}, "
+                f"not {scheme!r}"
+            )
+    bits = tuple(size_bits) if size_bits else DEFAULT_PLAN_BITS
+
+    findings: List[Finding] = []
+    plans: List[BatchPlan] = []
+    classes_proved = 0
+    tiers_rejected = 0
+    for scheme in selected:
+        # First-level geometry options only exist for the PA/set
+        # families; a mixed-scheme invocation applies them where they
+        # mean something instead of failing the global schemes.
+        entries = bht_entries if scheme in ("pag", "pas", "sas") else None
+        plan = build_batchplan(
+            scheme,
+            size_bits=bits,
+            bht_entries=entries,
+            bht_assoc=bht_assoc,
+        )
+        plans.append(plan)
+        for tier in plan.tiers:
+            point = f"2^{tier.n}"
+            if verify:
+                mismatches = verify_tier_plan(
+                    tier,
+                    bht_entries=entries,
+                    bht_assoc=bht_assoc,
+                    micros=micros,
+                )
+                for mismatch in mismatches:
+                    findings.append(
+                        Finding(
+                            check="batchplan.verify",
+                            severity="error",
+                            why=f"symbolic index disagrees with the "
+                            f"engine: {mismatch}",
+                            scheme=scheme,
+                            point=point,
+                        )
+                    )
+                if mismatches:
+                    continue
+            if tier.stackable:
+                classes_proved += tier.num_classes
+                findings.append(
+                    Finding(
+                        check="batchplan.tier",
+                        severity="info",
+                        why=(
+                            f"{len(tier.splits)} splits share one trace "
+                            f"decode in {tier.num_classes} transform "
+                            f"class(es); state stacks into "
+                            f"({len(tier.splits)}, 2^{tier.n}) without "
+                            "cross-config aliasing"
+                        ),
+                        scheme=scheme,
+                        point=point,
+                        data={
+                            "classes": tier.num_classes,
+                            "splits": len(tier.splits),
+                            "key": plan.key,
+                        },
+                    )
+                )
+            else:
+                tiers_rejected += 1
+                findings.append(
+                    Finding(
+                        check="batchplan.tier",
+                        severity="warning",
+                        why=(
+                            "tier rejected for batched stacking: "
+                            + "; ".join(tier.rejections)
+                        ),
+                        scheme=scheme,
+                        point=point,
+                        data={"rejections": list(tier.rejections)},
+                    )
+                )
+    counter("check.batchplan.classes").inc(classes_proved)
+    counter("check.batchplan.rejected").inc(tiers_rejected)
+
+    if plan_out is not None:
+        from repro.runtime.checkpoint import atomic_write_text
+
+        if len(plans) == 1:
+            artifact: Any = plans[0].to_json()
+        else:
+            artifact = {
+                "format": PLAN_FORMAT,
+                "plans": [plan.to_json() for plan in plans],
+            }
+        atomic_write_text(
+            plan_out, json.dumps(artifact, indent=2, sort_keys=False)
+        )
+        findings.append(
+            Finding(
+                check="batchplan.artifact",
+                severity="info",
+                why=(
+                    f"wrote {len(plans)} plan(s) to {plan_out} "
+                    f"(keys: {', '.join(p.key for p in plans)})"
+                ),
+                location=plan_out,
+            )
+        )
+    return findings

@@ -43,6 +43,16 @@ this codebase relies on:
   rows would differ run to run. Iterate ``sorted(...)`` or a list.
   (Sets reached through a variable are out of static reach; the rule
   pins the directly visible cases.)
+* ``code.dtype-width`` — NumPy allocations bound to predictor-state
+  names (:data:`STATE_HINT_NAMES`: counter banks, tables, stacked
+  blocks) must pin their ``dtype`` explicitly: the platform-dependent
+  default (``float64``, or C ``long`` on Windows) silently changes
+  overflow and memory behavior. Worse, a *narrow* integer dtype
+  (:data:`NARROW_DTYPES`) on such an array inside a function that
+  computes ``1 << bits`` / ``2 ** bits`` over a register-width name
+  truncates stacked flat indices — exactly the aliasing this repo
+  exists to measure, introduced by accident. Missing dtype is a
+  warning; provably-narrow is an error.
 
 A finding on a line containing ``check: allow(<rule>)`` is suppressed;
 the marker doubles as in-source documentation of the exception.
@@ -108,6 +118,27 @@ TRIP_COUNT_NAMES: FrozenSet[str] = frozenset(
         "bits_per_target",
         "path_bits_per_branch",
     }
+)
+
+#: Assignment-target name fragments that denote predictor state arrays
+#: (counter banks, stacked index blocks, lookup tables). Allocations
+#: bound to these names carry width contracts the dtype rule enforces.
+STATE_HINT_NAMES: Tuple[str, ...] = (
+    "counter",
+    "state",
+    "bank",
+    "table",
+    "stacked",
+)
+
+#: NumPy allocators the dtype-width rule watches.
+NP_ALLOC_FUNCS: FrozenSet[str] = frozenset({"zeros", "ones", "empty", "full"})
+
+#: Integer dtypes too narrow to hold ``1 << bits`` for register-width
+#: ``bits``: a stacked flat index or counter bank in one of these
+#: truncates silently.
+NARROW_DTYPES: FrozenSet[str] = frozenset(
+    {"int8", "uint8", "int16", "uint16"}
 )
 
 #: Pinned ``sweep_key`` signature: the checkpoint identity function's
@@ -207,6 +238,9 @@ class _Linter(ast.NodeVisitor):
         self.is_analysis = is_analysis
         self.metric_names = metric_names
         self.findings: List[Finding] = []
+        # Innermost-function flags for the dtype-width rule: does the
+        # enclosing function compute a register-width table size?
+        self._width_risky: List[bool] = []
 
     # -- helpers ------------------------------------------------------
 
@@ -316,7 +350,9 @@ class _Linter(ast.NodeVisitor):
         self._check_defaults(node)
         if self.is_checkpoint and node.name == "sweep_key":
             self._check_sweep_key(node)
+        self._width_risky.append(self._widens_to_register(node))
         self.generic_visit(node)
+        self._width_risky.pop()
 
     def _check_sweep_key(self, node: ast.FunctionDef) -> None:
         """Pin the checkpoint identity function against silent edits."""
@@ -395,6 +431,115 @@ class _Linter(ast.NodeVisitor):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._width_risky.append(self._widens_to_register(node))
+        self.generic_visit(node)
+        self._width_risky.pop()
+
+    # -- dtype-width --------------------------------------------------
+
+    @staticmethod
+    def _is_trip_name(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Name) and node.id in TRIP_COUNT_NAMES
+        ) or (
+            isinstance(node, ast.Attribute)
+            and node.attr in TRIP_COUNT_NAMES
+        )
+
+    @staticmethod
+    def _widens_to_register(node: ast.AST) -> bool:
+        """Does this function compute ``1 << bits`` / ``2 ** bits``
+        over a register-width name? If so, its arrays hold values up
+        to register width and narrow dtypes truncate them."""
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.BinOp)
+                and isinstance(sub.op, (ast.LShift, ast.Pow))
+                and _Linter._is_trip_name(sub.right)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _state_hinted(targets: Sequence[ast.expr]) -> Optional[str]:
+        for target in targets:
+            name: Optional[str] = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            if name is not None and any(
+                hint in name.lower() for hint in STATE_HINT_NAMES
+            ):
+                return name
+        return None
+
+    @staticmethod
+    def _np_alloc(node: ast.AST) -> Optional[ast.Call]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in NP_ALLOC_FUNCS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in ("np", "numpy")
+        ):
+            return node
+        return None
+
+    @staticmethod
+    def _dtype_arg(call: ast.Call) -> Optional[ast.expr]:
+        for keyword in call.keywords:
+            if keyword.arg == "dtype":
+                return keyword.value
+        # Positional: zeros/ones/empty take dtype second, full third.
+        position = 2 if call.func.attr == "full" else 1  # type: ignore[attr-defined]
+        if len(call.args) > position:
+            return call.args[position]
+        return None
+
+    @staticmethod
+    def _dtype_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        call = self._np_alloc(node.value)
+        target = self._state_hinted(node.targets)
+        if call is not None and target is not None:
+            dtype = self._dtype_arg(call)
+            if dtype is None:
+                self._add(
+                    "dtype-width",
+                    "warning",
+                    node.lineno,
+                    f"np.{call.func.attr}(...) bound to state array "  # type: ignore[attr-defined]
+                    f"{target!r} without an explicit dtype; the "
+                    "platform default changes overflow and memory "
+                    "behavior — pin it (np.int64 for indices/counters)",
+                )
+            else:
+                dtype_name = self._dtype_name(dtype)
+                if (
+                    dtype_name in NARROW_DTYPES
+                    and self._width_risky
+                    and self._width_risky[-1]
+                ):
+                    self._add(
+                        "dtype-width",
+                        "error",
+                        node.lineno,
+                        f"state array {target!r} allocated as "
+                        f"{dtype_name} in a function that computes a "
+                        "register-width table size (1 << bits); "
+                        "stacked indices/counters would truncate "
+                        "silently — widen the dtype or document the "
+                        "exception with an allow marker",
+                    )
         self.generic_visit(node)
 
     @staticmethod

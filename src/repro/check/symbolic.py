@@ -1,0 +1,510 @@
+"""Symbolic index algebra over the paper's index functions.
+
+Every row-major index function in the paper is built from a handful of
+bit operations over a few well-known streams: select bits of the word
+address, select bits of a history register, XOR them, and concatenate
+the column and row parts into the flat ``row * cols + column`` index
+(:func:`repro.predictors.specs.counter_index`). This module gives those
+operations a tiny expression IR plus a complete decision procedure for
+function equality, so cross-config properties (index-stream sharing,
+truncation/XOR-permutation equivalence, stacked-state bounds) can be
+*proved* instead of assumed — the substrate of ``repro check batchplan``
+(:mod:`repro.check.batchplan`).
+
+The IR
+------
+
+* :class:`Sym` — a named base stream (``word``, ``ghist``, ``tgt``,
+  ``lhist``), optionally lagged by a fixed number of accesses (value 0
+  before the stream starts) and parameterized (per-address histories
+  carry their register width and first-level geometry in ``param``
+  because, unlike global history, they are *not* truncation-compatible
+  across widths: a first-level miss re-seeds the register with the
+  width-dependent high bits of the 0xC3FF reset pattern).
+* :class:`Const` — an integer literal.
+* :class:`Bits` — bit-select ``(x >> lo) & (2^width - 1)``; this is
+  also the IR's shift-right and power-of-two mod.
+* :class:`Xor` — n-ary bitwise XOR.
+* :class:`Cat` — concatenation of fixed-width fields, low field first;
+  this is also the IR's shift-left and the row-major flatten (the flat
+  index *is* ``cat(column, row)``).
+
+Why equality is decidable: every operator above is XOR-affine over GF(2)
+bit vectors, so each output bit normalizes exactly to a constant bit
+XOR a set of input-stream bits (:func:`normal_form`). Two expressions
+denote the same function if and only if their normal forms are equal —
+no approximation, no SAT solving. :func:`evaluate` interprets the same
+expressions over concrete numpy streams, which is what the planner
+cross-checks against :func:`repro.sim.vectorized.index_stream` on micro
+traces (symbolic and concrete must agree bit-exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.errors import CheckError
+from repro.predictors.specs import (
+    DEFAULT_SET_ENTRIES,
+    PER_ADDRESS_SCHEMES,
+    SET_SCHEMES,
+    PredictorSpec,
+)
+
+#: Base streams derivable from one shared decode of a trace, for *any*
+#: register width a split asks for: the word-address stream, the global
+#: history register (bit k is the outcome k+1 branches back, so a
+#: narrow register is exactly the wide register's low bits), and the
+#: lagged target-word stream the path register concatenates. Symbols
+#: outside this set (per-address/per-set histories) must be
+#: materialized per parameterization.
+SHARED_SYMBOLS: Tuple[str, ...] = ("word", "ghist", "tgt")
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A base stream: ``name`` at ``lag`` accesses back (0 before the
+    stream starts), parameterized by ``param`` for non-shareable
+    families."""
+
+    name: str
+    param: str = ""
+    lag: int = 0
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Bits:
+    """Bit-select: ``(of >> lo) & (2^width - 1)``."""
+
+    of: "Expr"
+    lo: int
+    width: int
+
+
+@dataclass(frozen=True)
+class Xor:
+    """Bitwise XOR of all ``parts``."""
+
+    parts: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Cat:
+    """Concatenation of ``(expr, width)`` fields, lowest bits first.
+
+    Each field is masked to its declared width, so
+    ``cat((column, c), (row, r))`` is exactly the paper's row-major
+    flat index ``(row & (2^r - 1)) * 2^c + (column & (2^c - 1))``.
+    """
+
+    parts: Tuple[Tuple["Expr", int], ...]
+
+
+Expr = Union[Sym, Const, Bits, Xor, Cat]
+
+#: One input bit in a normal form: (symbol name, param, lag, bit index).
+Atom = Tuple[str, str, int, int]
+
+#: One output bit: (constant bit, XOR-set of input bits).
+NormalBit = Tuple[int, FrozenSet[Atom]]
+
+#: A full normal form: one :data:`NormalBit` per output bit, low first.
+NormalForm = Tuple[NormalBit, ...]
+
+
+# ----------------------------------------------------------------------
+# Structure
+# ----------------------------------------------------------------------
+
+
+def expr_width(expr: Expr) -> Optional[int]:
+    """Output width in bits; ``None`` for unbounded (a bare symbol)."""
+    if isinstance(expr, Sym):
+        return None
+    if isinstance(expr, Const):
+        return max(int(expr.value).bit_length(), 1)
+    if isinstance(expr, Bits):
+        return expr.width
+    if isinstance(expr, Xor):
+        widths = [expr_width(part) for part in expr.parts]
+        if any(w is None for w in widths):
+            return None
+        return max(w for w in widths if w is not None)
+    return sum(width for _, width in expr.parts)
+
+
+def _nf_bit(expr: Expr, index: int) -> NormalBit:
+    """Normal form of one output bit (recursive, exact)."""
+    if index < 0:
+        raise CheckError(f"negative bit index {index}")
+    if isinstance(expr, Sym):
+        return 0, frozenset({(expr.name, expr.param, expr.lag, index)})
+    if isinstance(expr, Const):
+        return (int(expr.value) >> index) & 1, frozenset()
+    if isinstance(expr, Bits):
+        if index >= expr.width:
+            return 0, frozenset()
+        return _nf_bit(expr.of, expr.lo + index)
+    if isinstance(expr, Xor):
+        const = 0
+        atoms: FrozenSet[Atom] = frozenset()
+        for part in expr.parts:
+            part_const, part_atoms = _nf_bit(part, index)
+            const ^= part_const
+            atoms = atoms.symmetric_difference(part_atoms)
+        return const, atoms
+    base = 0
+    for part, width in expr.parts:
+        if index < base + width:
+            inner_const, inner_atoms = _nf_bit(part, index - base)
+            # The field mask is implied by the declared width.
+            if index - base >= width:
+                return 0, frozenset()
+            return inner_const, inner_atoms
+        base += width
+    return 0, frozenset()
+
+
+def normal_form(expr: Expr) -> NormalForm:
+    """Canonical form: per output bit, a constant XOR a set of stream
+    bits. Equal normal forms <=> equal index functions (the operators
+    are XOR-affine, so this is a complete decision procedure)."""
+    width = expr_width(expr)
+    if width is None:
+        raise CheckError(
+            "cannot normalize an unbounded expression; wrap the symbol "
+            "in Bits(...) to give it a width"
+        )
+    return tuple(_nf_bit(expr, index) for index in range(width))
+
+
+def equivalent(a: Expr, b: Expr) -> bool:
+    """True when ``a`` and ``b`` denote the same index function."""
+    return normal_form(a) == normal_form(b)
+
+
+def free_symbols(expr: Expr) -> FrozenSet[Tuple[str, str]]:
+    """The ``(name, param)`` pairs of every stream the expression reads."""
+    return frozenset(
+        (name, param)
+        for _const, atoms in normal_form(expr)
+        for (name, param, _lag, _bit) in atoms
+    )
+
+
+def symbol_extent(expr: Expr) -> Dict[Tuple[str, str, int], int]:
+    """Highest referenced bit + 1 per ``(name, param, lag)`` stream —
+    the width each base stream must be materialized at."""
+    extent: Dict[Tuple[str, str, int], int] = {}
+    for _const, atoms in normal_form(expr):
+        for name, param, lag, bit in atoms:
+            key = (name, param, lag)
+            extent[key] = max(extent.get(key, 0), bit + 1)
+    return extent
+
+
+# ----------------------------------------------------------------------
+# Evaluation over concrete streams
+# ----------------------------------------------------------------------
+
+
+def evaluate(
+    expr: Expr, env: Mapping[Tuple[str, str], np.ndarray]
+) -> np.ndarray:
+    """Interpret ``expr`` over concrete int64 streams.
+
+    ``env`` maps ``(symbol name, param)`` to the stream's values per
+    access; lags shift with zero fill (a register holds 0 before its
+    first input). This is the executable semantics the planner proves
+    equal to :func:`repro.sim.vectorized.index_stream`.
+    """
+    if isinstance(expr, Sym):
+        key = (expr.name, expr.param)
+        if key not in env:
+            raise CheckError(
+                f"no stream for symbol {expr.name!r} (param "
+                f"{expr.param!r}) in the evaluation environment"
+            )
+        base = np.asarray(env[key], dtype=np.int64)
+        if expr.lag == 0:
+            return base
+        lagged = np.zeros(len(base), dtype=np.int64)
+        if expr.lag < len(base):
+            lagged[expr.lag :] = base[: -expr.lag]
+        return lagged
+    if isinstance(expr, Const):
+        return np.asarray(int(expr.value), dtype=np.int64)
+    if isinstance(expr, Bits):
+        value = evaluate(expr.of, env)
+        return (value >> expr.lo) & ((1 << expr.width) - 1)
+    if isinstance(expr, Xor):
+        out = evaluate(expr.parts[0], env)
+        for part in expr.parts[1:]:
+            out = out ^ evaluate(part, env)
+        return out
+    acc = np.asarray(0, dtype=np.int64)
+    offset = 0
+    for part, width in expr.parts:
+        field = evaluate(part, env) & ((1 << width) - 1)
+        acc = acc | (field << offset)
+        offset += width
+    return acc
+
+
+# ----------------------------------------------------------------------
+# Serialization (the BatchPlan artifact embeds expressions as JSON)
+# ----------------------------------------------------------------------
+
+
+def to_dict(expr: Expr) -> Dict[str, Any]:
+    """JSON-serializable form; stable key order for content keying."""
+    if isinstance(expr, Sym):
+        return {"sym": expr.name, "param": expr.param, "lag": expr.lag}
+    if isinstance(expr, Const):
+        return {"const": int(expr.value)}
+    if isinstance(expr, Bits):
+        return {"bits": [to_dict(expr.of), expr.lo, expr.width]}
+    if isinstance(expr, Xor):
+        return {"xor": [to_dict(part) for part in expr.parts]}
+    return {"cat": [[to_dict(part), width] for part, width in expr.parts]}
+
+
+def from_dict(data: Mapping[str, Any]) -> Expr:
+    """Inverse of :func:`to_dict` (used when consuming a plan file)."""
+    if "sym" in data:
+        return Sym(
+            name=str(data["sym"]),
+            param=str(data.get("param", "")),
+            lag=int(data.get("lag", 0)),
+        )
+    if "const" in data:
+        return Const(int(data["const"]))
+    if "bits" in data:
+        inner, lo, width = data["bits"]
+        return Bits(of=from_dict(inner), lo=int(lo), width=int(width))
+    if "xor" in data:
+        return Xor(parts=tuple(from_dict(part) for part in data["xor"]))
+    if "cat" in data:
+        return Cat(
+            parts=tuple(
+                (from_dict(part), int(width)) for part, width in data["cat"]
+            )
+        )
+    raise CheckError(f"not a serialized index expression: {dict(data)!r}")
+
+
+def render(expr: Expr) -> str:
+    """Compact human rendering, e.g. ``cat(word[0:5], ghist[0:3])``."""
+    if isinstance(expr, Sym):
+        suffix = f"@{expr.lag}" if expr.lag else ""
+        param = f"{{{expr.param}}}" if expr.param else ""
+        return f"{expr.name}{param}{suffix}"
+    if isinstance(expr, Const):
+        return hex(expr.value)
+    if isinstance(expr, Bits):
+        return f"{render(expr.of)}[{expr.lo}:{expr.lo + expr.width}]"
+    if isinstance(expr, Xor):
+        return "xor(" + ", ".join(render(part) for part in expr.parts) + ")"
+    return "cat(" + ", ".join(render(part) for part, _ in expr.parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# Index-expression construction per spec
+# ----------------------------------------------------------------------
+
+#: Schemes :func:`symbolic_index` covers — the row-major two-level
+#: families plus their degenerate address-indexed edge.
+SYMBOLIC_SCHEMES: Tuple[str, ...] = (
+    "bimodal",
+    "gag",
+    "gas",
+    "gshare",
+    "path",
+    "pag",
+    "pas",
+    "sag",
+    "sas",
+    "agree",
+)
+
+
+def lhist_param(spec: PredictorSpec) -> str:
+    """Canonical ``lhist`` symbol parameter for a per-address/per-set
+    history register.
+
+    Encodes everything the stream's values depend on besides the trace:
+    register width (narrow registers are *not* truncations of wide ones
+    — the 0xC3FF reset prefix differs per width), first-level geometry
+    (misses reset the register), and the register-sharing key (per-PC
+    vs per-set)."""
+    bits = max(1, spec.history_bits)
+    if spec.scheme in SET_SCHEMES:
+        entries = spec.bht_entries or DEFAULT_SET_ENTRIES
+        return f"b{bits}/set{entries}"
+    if spec.bht_entries is None:
+        return f"b{bits}"
+    return f"b{bits}/bht{spec.bht_entries}x{spec.bht_assoc}"
+
+
+def _row_major(column: Expr, col_bits: int, row: Expr, row_bits: int) -> Expr:
+    """``row * cols + column`` as a concatenation of the two fields."""
+    if row_bits == 0:
+        return column
+    if col_bits == 0:
+        return Bits(row, 0, row_bits) if expr_width(row) != row_bits else row
+    return Cat(parts=((column, col_bits), (row, row_bits)))
+
+
+def symbolic_index(spec: PredictorSpec) -> Expr:
+    """The counter-index function of ``spec`` as an IR expression.
+
+    Mirrors :func:`repro.sim.vectorized.index_stream` structurally —
+    the planner's micro-trace verification asserts the two agree
+    bit-exactly, so a drift between them is caught, not silently
+    proved-about."""
+    scheme = spec.scheme
+    if scheme not in SYMBOLIC_SCHEMES:
+        raise CheckError(
+            f"no symbolic index expression for scheme {scheme!r}; "
+            f"covered: {SYMBOLIC_SCHEMES}"
+        )
+    word = Sym("word")
+    c = spec.column_bits
+    r = spec.history_bits
+    column = Bits(word, 0, c) if c else Const(0)
+
+    if scheme == "bimodal":
+        return Bits(word, 0, c) if c else Const(0)
+    if scheme in ("gag", "gas"):
+        row: Expr = Bits(Sym("ghist"), 0, r)
+    elif scheme == "gshare":
+        # (ghist ^ (word >> c)) masked to r bits distributes over XOR.
+        row = Xor(parts=(Bits(Sym("ghist"), 0, r), Bits(word, c, r)))
+    elif scheme == "path":
+        bpt = spec.path_bits_per_branch
+        slots = -(-r // bpt)  # ceil: chunks needed to cover r bits
+        register = Cat(
+            parts=tuple(
+                (Bits(Sym("tgt", lag=age), 0, bpt), bpt)
+                for age in range(1, slots + 1)
+            )
+        )
+        row = Bits(register, 0, r)
+    elif scheme in PER_ADDRESS_SCHEMES + SET_SCHEMES:
+        row = Bits(Sym("lhist", param=lhist_param(spec)), 0, r)
+    else:  # agree: cols == 1, row is history XOR the full word address
+        row = Xor(parts=(Bits(Sym("ghist"), 0, r), Bits(word, 0, r)))
+    return _row_major(column, c, row, r)
+
+
+# ----------------------------------------------------------------------
+# Transform-equivalence tokens (truncation / XOR-permutation classes)
+# ----------------------------------------------------------------------
+
+#: One atom at an output bit, width-abstracted: the stream it reads
+#: plus every positional role the atom admits — ``out`` = aligned to
+#: the output bit j (a word bit passed straight through, gshare's
+#: ``word >> c`` term), ``row`` = aligned to the row bit ``k = j - c``
+#: (a history-register bit), ``bit<i>`` = the fixed source bit ``i``
+#: (path-register chunks). An atom can admit several roles — at
+#: ``col_bits = 0`` the output and row positions coincide — so the
+#: roles are a set and compatibility is role *intersection*.
+Token = Tuple[str, str, int, FrozenSet[str]]
+
+#: One output bit's signature: (constant bit, atom tokens).
+BitSig = Tuple[int, FrozenSet[Token]]
+
+#: Per-bit signatures for the column and row regions of a split.
+SplitTokens = Tuple[Tuple[BitSig, ...], Tuple[BitSig, ...]]
+
+
+def split_tokens(expr: Expr, col_bits: int) -> SplitTokens:
+    """Width-abstracted per-bit structure of a row-major index function.
+
+    Each output bit's XOR-set is rewritten in coordinates that do not
+    mention the split's widths: column bit j and row bit k keep only
+    *which* streams each position reads and *how* each atom relates to
+    its position. Two splits of one family then produce compatible
+    per-bit prefixes, which is exactly the "differ only by bit-width
+    truncation or XOR-permutation of the same symbol set" relation
+    :func:`transform_compatible` decides.
+    """
+    nf = normal_form(expr)
+    column: List[BitSig] = []
+    row: List[BitSig] = []
+    for j, (const_bit, atoms) in enumerate(nf):
+        tokens = set()
+        k = j - col_bits
+        for name, param, lag, bit in atoms:
+            roles = {f"bit{bit}"}
+            if bit == j:
+                roles.add("out")
+            if k >= 0 and bit == k:
+                roles.add("row")
+            tokens.add((name, param, lag, frozenset(roles)))
+        signature: BitSig = (const_bit, frozenset(tokens))
+        (column if j < col_bits else row).append(signature)
+    return tuple(column), tuple(row)
+
+
+def _bits_compatible(a: BitSig, b: BitSig) -> bool:
+    """Two per-bit signatures describe the same generator position:
+    equal constants, the same streams, and for each stream a common
+    admissible role."""
+    a_const, a_tokens = a
+    b_const, b_tokens = b
+    if a_const != b_const:
+        return False
+    a_by_key: Dict[Tuple[str, str, int], List[FrozenSet[str]]] = {}
+    b_by_key: Dict[Tuple[str, str, int], List[FrozenSet[str]]] = {}
+    for name, param, lag, roles in a_tokens:
+        a_by_key.setdefault((name, param, lag), []).append(roles)
+    for name, param, lag, roles in b_tokens:
+        b_by_key.setdefault((name, param, lag), []).append(roles)
+    if set(a_by_key) != set(b_by_key):
+        return False
+    for key, a_roles in a_by_key.items():
+        b_roles = b_by_key[key]
+        if len(a_roles) != len(b_roles):
+            return False
+        # Pair atoms of the same stream deterministically (at most one
+        # atom per stream per bit in every scheme covered here).
+        for left, right in zip(
+            sorted(a_roles, key=sorted), sorted(b_roles, key=sorted)
+        ):
+            if not left & right:
+                return False
+    return True
+
+
+def transform_compatible(a: SplitTokens, b: SplitTokens) -> bool:
+    """True when two splits differ only by truncating the column/row
+    widths of one shared generator pattern (XOR structure included)."""
+    a_col, a_row = a
+    b_col, b_row = b
+    col_overlap = min(len(a_col), len(b_col))
+    row_overlap = min(len(a_row), len(b_row))
+    return all(
+        _bits_compatible(a_col[j], b_col[j]) for j in range(col_overlap)
+    ) and all(
+        _bits_compatible(a_row[k], b_row[k]) for k in range(row_overlap)
+    )

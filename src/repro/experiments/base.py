@@ -44,6 +44,9 @@ class ExperimentOptions:
     points below a predicted-delta threshold (``--plan-from-estimate``).
     ``dashboard`` renders the live fleet table on stderr for parallel
     sweeps (``--dashboard``; see :mod:`repro.obs.dashboard`).
+    ``batched`` advances all splits of a tier per trace pass when the
+    static batch planner proves it safe (``--batched``; see
+    :mod:`repro.check.batchplan`).
     """
 
     length: int = DEFAULT_LENGTH
@@ -59,6 +62,7 @@ class ExperimentOptions:
     shard_size: Optional[int] = None
     plan_from_estimate: Optional[float] = None
     dashboard: bool = False
+    batched: bool = False
 
     def sweep_kwargs(self) -> Dict[str, Any]:
         """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
@@ -72,6 +76,7 @@ class ExperimentOptions:
             "shard_size": self.shard_size,
             "plan_from_estimate": self.plan_from_estimate,
             "dashboard": self.dashboard,
+            "batched": self.batched,
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:

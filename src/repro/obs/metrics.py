@@ -222,6 +222,9 @@ WELL_KNOWN = {
         "analyze.cfg.blocks",      # basic blocks across extracted CFGs
         "analyze.cfg.edges",       # CFG edges across extracted CFGs
         "analyze.branches_profiled",  # branch outcomes recorded at runtime
+        "check.batchplan.classes",    # transform-equivalence classes proved
+        "check.batchplan.rejected",   # tiers refused for batched stacking
+        "sim.batched_configs",        # configs advanced by batched tier passes
     ),
     "gauges": (),
     "histograms": (

@@ -1,0 +1,267 @@
+"""The static batchability planner: golden plan fixtures, prover
+verdicts, artifact integrity, and the check-pass/CLI integration.
+
+The golden fixtures under ``tests/data/batchplan/`` pin the full JSON
+artifact (verdicts, transform classes, rendered index functions, and
+the content key) for the three figure schemes at a small and a
+Figure-4-scale budget. A diff here means the planner's *proofs*
+changed — review it like a checkpoint-key change, not a formatting
+nit.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.check.batchplan import (
+    DEFAULT_PLAN_BITS,
+    FIGURE_SCHEMES,
+    build_batchplan,
+    check_batchplan,
+    load_plan,
+    plan_tier,
+    tier_scheme,
+    verify_tier_plan,
+)
+from repro.check.runner import run_checks
+from repro.cli import main
+from repro.errors import CheckError
+from repro.obs.metrics import reset_metrics, snapshot
+
+FIXTURE_DIR = os.path.join(
+    os.path.dirname(__file__), "data", "batchplan"
+)
+
+#: scheme -> build_batchplan kwargs matching the committed fixtures.
+GOLDEN = {
+    "gas": {},
+    "gshare": {},
+    "pas": {"bht_entries": 64},
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_metrics()
+    yield
+
+
+class TestGoldenPlans:
+    @pytest.mark.parametrize("scheme", sorted(GOLDEN))
+    def test_plan_matches_committed_fixture(self, scheme):
+        with open(os.path.join(FIXTURE_DIR, f"{scheme}.json")) as handle:
+            golden = json.load(handle)
+        plan = build_batchplan(scheme, (6, 10), **GOLDEN[scheme])
+        assert plan.to_json() == golden, (
+            f"the {scheme} batch plan changed; if the prover change is "
+            "deliberate, regenerate tests/data/batchplan/"
+        )
+
+    @pytest.mark.parametrize("scheme", sorted(GOLDEN))
+    def test_fixture_loads_and_verifies(self, scheme):
+        with open(os.path.join(FIXTURE_DIR, f"{scheme}.json")) as handle:
+            plan = load_plan(json.load(handle))
+        assert plan.scheme == scheme
+        assert plan.size_bits == (6, 10)
+
+
+class TestProver:
+    def test_global_tier_is_stackable_one_class(self):
+        for scheme in ("gas", "gshare", "path"):
+            tier = plan_tier(scheme, 6)
+            assert tier.shareable and tier.stackable
+            assert tier.num_classes == 1
+            assert tier.rejections == ()
+            assert len(tier.splits) == 7
+            assert tier_scheme(tier) == scheme
+
+    def test_pas_rejected_for_unshareable_lhist(self):
+        tier = plan_tier("pas", 4)
+        assert not tier.shareable
+        assert not tier.stackable
+        assert any("lhist" in reason for reason in tier.rejections)
+
+    def test_pas_with_bht_rejected_for_mixed_geometry(self):
+        tier = plan_tier("pas", 4, bht_entries=64, bht_assoc=4)
+        assert not tier.stackable
+        assert any(
+            "mixed first-level geometry" in reason
+            for reason in tier.rejections
+        )
+
+    def test_rejected_tier_still_plans_every_split(self):
+        tier = plan_tier("pas", 4)
+        assert len(tier.splits) == 5
+        # Per-width local-history params keep the non-degenerate
+        # splits in separate transform classes.
+        assert tier.num_classes == 4
+
+    def test_verification_is_exact_on_micros(self):
+        tier = plan_tier("gas", 5)
+        assert verify_tier_plan(tier) == []
+
+    def test_verification_covers_first_level_geometry(self):
+        tier = plan_tier("pas", 4, bht_entries=64, bht_assoc=4)
+        assert (
+            verify_tier_plan(tier, bht_entries=64, bht_assoc=4) == []
+        )
+
+    def test_unknown_micro_is_an_error(self):
+        tier = plan_tier("gas", 4)
+        with pytest.raises(CheckError, match="unknown verification"):
+            verify_tier_plan(tier, micros=["nope"])
+
+    def test_bad_scheme_and_bad_exponent(self):
+        with pytest.raises(CheckError):
+            plan_tier("bimodal", 4)
+        with pytest.raises(CheckError):
+            plan_tier("gas", 0)
+
+
+class TestArtifact:
+    def test_roundtrip_preserves_plan_and_key(self):
+        plan = build_batchplan("gshare", (4,))
+        back = load_plan(plan.to_json())
+        assert back == plan
+        assert back.key == plan.key
+
+    def test_tampered_plan_is_refused(self):
+        data = build_batchplan("gas", (4,)).to_json()
+        data["counter_bits"] = 3  # edit without re-keying
+        with pytest.raises(CheckError, match="content key mismatch"):
+            load_plan(data)
+
+    def test_wrong_format_is_refused(self):
+        with pytest.raises(CheckError, match="not a repro.batchplan/1"):
+            load_plan({"format": "something-else"})
+
+    def test_key_is_content_addressed(self):
+        assert (
+            build_batchplan("gas", (4,)).key
+            == build_batchplan("gas", (4,)).key
+        )
+        assert (
+            build_batchplan("gas", (4,)).key
+            != build_batchplan("gshare", (4,)).key
+        )
+
+
+class TestCheckPass:
+    def test_proven_tier_reports_info(self):
+        findings = check_batchplan(schemes=["gas"], size_bits=[4])
+        tiers = [f for f in findings if f.check == "batchplan.tier"]
+        assert len(tiers) == 1
+        assert tiers[0].severity == "info"
+        assert tiers[0].data["classes"] == 1
+
+    def test_rejected_tier_reports_warning(self):
+        findings = check_batchplan(schemes=["pas"], size_bits=[4])
+        tiers = [f for f in findings if f.check == "batchplan.tier"]
+        assert [f.severity for f in tiers] == ["warning"]
+        assert tiers[0].data["rejections"]
+
+    def test_figure_selects_the_scheme(self):
+        findings = check_batchplan(figure="fig4", size_bits=[4])
+        assert {f.scheme for f in findings if f.scheme} == {
+            FIGURE_SCHEMES["fig4"]
+        }
+
+    def test_figure_and_scheme_conflict(self):
+        with pytest.raises(CheckError, match="not both"):
+            check_batchplan(schemes=["gas"], figure="fig4")
+
+    def test_metrics_predeclared_and_fed(self):
+        check_batchplan(schemes=["gas", "pas"], size_bits=[4])
+        counters = snapshot()["counters"]
+        assert counters["check.batchplan.classes"] == 1
+        assert counters["check.batchplan.rejected"] == 1
+
+    def test_plan_out_writes_loadable_artifact(self, tmp_path):
+        out = tmp_path / "plan.json"
+        check_batchplan(
+            schemes=["gas"], size_bits=[4], plan_out=str(out)
+        )
+        plan = load_plan(json.loads(out.read_text()))
+        assert plan.scheme == "gas"
+        assert plan.size_bits == (4,)
+
+    def test_plan_out_multi_scheme_envelope(self, tmp_path):
+        out = tmp_path / "plans.json"
+        check_batchplan(
+            schemes=["gas", "gshare"],
+            size_bits=[4],
+            plan_out=str(out),
+        )
+        data = json.loads(out.read_text())
+        assert [p["scheme"] for p in data["plans"]] == ["gas", "gshare"]
+        for payload in data["plans"]:
+            load_plan(payload)
+
+    def test_default_bits_are_the_declared_defaults(self):
+        findings = check_batchplan(schemes=["gas"])
+        points = [
+            f.point for f in findings if f.check == "batchplan.tier"
+        ]
+        assert points == [f"2^{n}" for n in DEFAULT_PLAN_BITS]
+
+
+class TestRunnerIntegration:
+    def test_named_pass_runs(self):
+        report = run_checks(
+            "batchplan", schemes=["gas"], size_bits=[4]
+        )
+        assert report.passes == ["batchplan"]
+        assert report.count("error") == 0
+
+    def test_all_excludes_batchplan_by_default(self):
+        report = run_checks("all", size_bits=[4])
+        assert "batchplan" not in report.passes
+
+    def test_all_with_batchplan_includes_it(self):
+        report = run_checks(
+            "all",
+            schemes=["gas"],
+            size_bits=[4],
+            with_batchplan=True,
+        )
+        assert "batchplan" in report.passes
+
+
+class TestCli:
+    def test_figure_tier_exit_zero(self, capsys):
+        code = main(
+            ["check", "batchplan", "--figure", "fig4", "--tier", "4"]
+        )
+        assert code == 0
+        assert "batchplan" in capsys.readouterr().out
+
+    def test_rejection_blocks_only_strict(self, capsys):
+        argv = ["check", "batchplan", "--scheme", "pas", "--tier", "4"]
+        assert main(argv) == 0
+        assert main(argv + ["--strict"]) == 1
+        capsys.readouterr()
+
+    def test_json_report_carries_plan_key(self, capsys, tmp_path):
+        out = tmp_path / "plan.json"
+        code = main(
+            [
+                "check",
+                "batchplan",
+                "--scheme",
+                "gas",
+                "--tier",
+                "4",
+                "--json",
+                "--plan-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        tier = next(
+            f
+            for f in report["findings"]
+            if f["check"] == "batchplan.tier"
+        )
+        assert tier["data"]["key"] == json.loads(out.read_text())["key"]

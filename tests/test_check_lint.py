@@ -269,6 +269,93 @@ class TestSetIter:
         )
 
 
+class TestDtypeWidth:
+    def test_missing_dtype_on_state_array_is_a_warning(self):
+        findings = lint(
+            """
+            import numpy as np
+            def build(bits):
+                counters = np.zeros(1 << bits)
+                return counters
+            """
+        )
+        assert checks(findings) == ["code.dtype-width"]
+        assert findings[0].severity == "warning"
+
+    def test_narrow_dtype_under_register_width_size_is_an_error(self):
+        findings = lint(
+            """
+            import numpy as np
+            def build(bits):
+                table = np.zeros(1 << bits, dtype=np.int8)
+                return table
+            """
+        )
+        assert checks(findings) == ["code.dtype-width"]
+        assert findings[0].severity == "error"
+
+    def test_positional_dtype_and_pow_are_seen(self):
+        findings = lint(
+            """
+            import numpy as np
+            def build(row_bits):
+                state_bank = np.full(2 ** row_bits, 1, np.uint16)
+                return state_bank
+            """
+        )
+        assert checks(findings) == ["code.dtype-width"]
+        assert findings[0].severity == "error"
+
+    def test_explicit_wide_dtype_is_fine(self):
+        assert (
+            lint(
+                """
+                import numpy as np
+                def build(bits):
+                    counters = np.zeros(1 << bits, dtype=np.int64)
+                    return counters
+                """
+            )
+            == []
+        )
+
+    def test_narrow_dtype_without_width_risk_is_fine(self):
+        assert (
+            lint(
+                """
+                import numpy as np
+                def build(n):
+                    counters = np.zeros(n, dtype=np.int8)
+                    return counters
+                """
+            )
+            == []
+        )
+
+    def test_unhinted_target_is_exempt(self):
+        assert (
+            lint(
+                """
+                import numpy as np
+                def build(bits):
+                    mask = np.zeros(1 << bits)
+                    return mask
+                """
+            )
+            == []
+        )
+
+    def test_allow_marker_suppresses(self):
+        source = (
+            "import numpy as np\n"
+            "def build(bits):\n"
+            "    counters = np.zeros(1 << bits, dtype=np.int8)"
+            "  # check: allow(dtype-width)\n"
+            "    return counters\n"
+        )
+        assert lint(source) == []
+
+
 class TestSyntaxHandling:
     def test_unparseable_source_is_a_finding(self):
         findings = lint("def f(:\n")

@@ -1,0 +1,187 @@
+"""The symbolic index-expression IR: algebra, evaluation, and the
+bit-exact agreement of every scheme's symbolic index function with the
+concrete decoded ``index_stream``.
+
+The agreement tests are the foundation the batch planner stands on: if
+``evaluate(symbolic_index(spec), tier_environment(...))`` ever diverges
+from ``index_stream(spec, trace)``, the planner's sharing and stacking
+proofs are about the wrong functions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.symbolic import (
+    Bits,
+    Cat,
+    Const,
+    Sym,
+    Xor,
+    equivalent,
+    evaluate,
+    expr_width,
+    free_symbols,
+    from_dict,
+    normal_form,
+    render,
+    symbol_extent,
+    symbolic_index,
+    to_dict,
+)
+from repro.sim.sweep import spec_for_point
+from repro.sim.vectorized import index_stream, tier_environment
+from repro.workloads.micro import (
+    alternating_trace,
+    correlated_pair_trace,
+    interference_field_trace,
+    loop_trace,
+)
+
+WORD = Sym("word")
+GHIST = Sym("ghist")
+
+
+class TestAlgebra:
+    def test_xor_commutes(self):
+        a = Bits(WORD, 0, 4)
+        b = Bits(GHIST, 0, 4)
+        assert equivalent(Xor((a, b)), Xor((b, a)))
+
+    def test_xor_with_zero_is_identity(self):
+        a = Bits(WORD, 0, 4)
+        assert equivalent(Xor((a, Const(0))), a)
+
+    def test_xor_self_cancels(self):
+        a = Bits(GHIST, 0, 3)
+        zero3 = Bits(Const(0), 0, 3)  # equivalence is width-sensitive
+        assert equivalent(Xor((a, a)), zero3)
+
+    def test_cat_of_adjacent_slices_is_the_slice(self):
+        whole = Bits(WORD, 0, 4)
+        parts = Cat(((Bits(WORD, 0, 2), 2), (Bits(WORD, 2, 2), 2)))
+        assert equivalent(parts, whole)
+
+    def test_lag_distinguishes(self):
+        now = Bits(Sym("tgt"), 0, 4)
+        then = Bits(Sym("tgt", lag=1), 0, 4)
+        assert not equivalent(now, then)
+
+    def test_param_distinguishes(self):
+        a = Bits(Sym("lhist", param="b4"), 0, 4)
+        b = Bits(Sym("lhist", param="b6"), 0, 4)
+        assert not equivalent(a, b)
+
+    def test_normal_form_is_canonical(self):
+        a = Bits(WORD, 0, 2)
+        b = Bits(GHIST, 0, 2)
+        assert normal_form(Xor((a, b))) == normal_form(Xor((b, a)))
+
+    def test_widths(self):
+        assert expr_width(Const(0)) == 1
+        assert expr_width(Bits(WORD, 3, 5)) == 5
+        assert expr_width(Cat(((Bits(WORD, 0, 2), 2), (Bits(GHIST, 0, 3), 3)))) == 5
+        assert expr_width(Xor((Bits(WORD, 0, 2), Bits(GHIST, 0, 4)))) == 4
+        assert expr_width(WORD) is None
+
+    def test_free_symbols_and_extent(self):
+        expr = Cat(((Bits(GHIST, 0, 3), 3), (Bits(WORD, 1, 2), 2)))
+        assert free_symbols(expr) == {("ghist", ""), ("word", "")}
+        assert symbol_extent(expr) == {("ghist", "", 0): 3, ("word", "", 0): 3}
+
+
+class TestEvaluate:
+    ENV = {
+        ("word", ""): np.array([0b1011, 0b0110, 0b1111], dtype=np.int64),
+        ("ghist", ""): np.array([0b01, 0b10, 0b11], dtype=np.int64),
+        ("tgt", ""): np.array([5, 9, 13], dtype=np.int64),
+    }
+
+    def test_bits_masks_and_shifts(self):
+        out = evaluate(Bits(WORD, 1, 2), self.ENV)
+        assert out.tolist() == [0b01, 0b11, 0b11]
+
+    def test_xor(self):
+        out = evaluate(Xor((Bits(WORD, 0, 2), Bits(GHIST, 0, 2))), self.ENV)
+        assert out.tolist() == [0b10, 0b00, 0b00]
+
+    def test_cat_packs_first_field_low(self):
+        expr = Cat(((Bits(WORD, 0, 2), 2), (Bits(GHIST, 0, 2), 2)))
+        out = evaluate(expr, self.ENV)
+        assert out.tolist() == [
+            0b11 | (0b01 << 2),
+            0b10 | (0b10 << 2),
+            0b11 | (0b11 << 2),
+        ]
+
+    def test_lag_shifts_with_zero_fill(self):
+        out = evaluate(Bits(Sym("tgt", lag=1), 0, 4), self.ENV)
+        assert out.tolist() == [0, 5, 9]
+
+    def test_const_evaluates_to_broadcastable_scalar(self):
+        out = evaluate(Const(3), self.ENV)
+        assert np.asarray(out).max() == 3 and np.asarray(out).min() == 3
+
+
+class TestSerialization:
+    EXPRS = [
+        Const(0),
+        Bits(WORD, 0, 6),
+        Xor((Bits(GHIST, 0, 4), Bits(WORD, 2, 4))),
+        Cat(((Bits(Sym("tgt", lag=2), 0, 3), 3), (Bits(WORD, 0, 2), 2))),
+        Bits(Sym("lhist", param="b5/bht64x4"), 0, 5),
+    ]
+
+    @pytest.mark.parametrize("expr", EXPRS, ids=render)
+    def test_roundtrip(self, expr):
+        back = from_dict(to_dict(expr))
+        assert back == expr
+        assert equivalent(back, expr)
+
+    def test_render_reads_like_the_paper(self):
+        expr = Xor((Bits(GHIST, 0, 4), Bits(WORD, 2, 4)))
+        text = render(expr)
+        assert "ghist" in text and "word" in text and "xor" in text
+
+
+MICROS = {
+    "loop": lambda: loop_trace(trips=7, repeats=48),
+    "alternating": lambda: alternating_trace(384),
+    "correlated-pair": lambda: correlated_pair_trace(512, noise=0.1, seed=3),
+    "interference-field": lambda: interference_field_trace(
+        branches=8, length=1536, seed=1
+    ),
+}
+
+SCHEMES = ["gas", "gshare", "path", "pas"]
+
+
+class TestSymbolicMatchesConcrete:
+    """The load-bearing theorem: symbolic == concrete, bit for bit,
+    for every split of a tier, on every verification micro."""
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("micro", sorted(MICROS), ids=str)
+    def test_every_split_agrees(self, scheme, micro):
+        trace = MICROS[micro]()
+        n = 5
+        for row_bits in range(n + 1):
+            spec = spec_for_point(
+                scheme, col_bits=n - row_bits, row_bits=row_bits
+            )
+            expr = symbolic_index(spec)
+            env = tier_environment([spec], trace)
+            symbolic = evaluate(expr, env)
+            concrete = np.asarray(index_stream(spec, trace), dtype=np.int64)
+            assert np.array_equal(symbolic, concrete), (
+                f"{scheme} {spec.size_label} diverges on {micro}"
+            )
+
+    def test_pas_with_bht_agrees(self):
+        trace = MICROS["interference-field"]()
+        spec = spec_for_point(
+            "pas", col_bits=2, row_bits=3, bht_entries=64, bht_assoc=4
+        )
+        expr = symbolic_index(spec)
+        symbolic = evaluate(expr, tier_environment([spec], trace))
+        concrete = np.asarray(index_stream(spec, trace), dtype=np.int64)
+        assert np.array_equal(symbolic, concrete)

@@ -1,0 +1,146 @@
+"""The batched tier kernel and its sweep integration.
+
+The contract under test is the batch planner's promise: for a proven
+tier, one shared trace decode plus one segmented scan over stacked
+counter state is *bit-identical* to simulating every split serially —
+including against the scalar reference engine, the repo's ground
+truth. The sweep-level tests pin the fallback behavior (rejected tiers
+quietly take the serial path) and the decode-amortization telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.check.batchplan import plan_tier
+from repro.errors import ConfigurationError
+from repro.obs.metrics import reset_metrics, snapshot
+from repro.obs.profile import disable_profiling, enable_profiling
+from repro.sim import sweep_tiers
+from repro.sim.engine import simulate
+from repro.sim.sweep import spec_for_point
+from repro.sim.vectorized import simulate_batched_tier, tier_environment
+from repro.workloads import make_workload
+from repro.workloads.micro import interference_field_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_workload("compress", length=4_000, seed=2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_metrics()
+    yield
+
+
+def tier_specs(scheme, n, **kwargs):
+    return [
+        spec_for_point(
+            scheme, col_bits=n - row_bits, row_bits=row_bits, **kwargs
+        )
+        for row_bits in range(n + 1)
+    ]
+
+
+class TestBatchedKernel:
+    @pytest.mark.parametrize("scheme", ["gas", "gshare", "path"])
+    def test_bit_identical_to_reference_engine(self, trace, scheme):
+        n = 6
+        specs = tier_specs(scheme, n)
+        batched = simulate_batched_tier(specs, trace)
+        for spec, predictions in zip(specs, batched):
+            serial = simulate(spec, trace, engine="reference")
+            assert np.array_equal(predictions, serial.predictions), (
+                f"{scheme} {spec.size_label} diverges from reference"
+            )
+
+    def test_plan_exprs_match_derived_exprs(self, trace):
+        n = 5
+        specs = tier_specs("gshare", n)
+        tier = plan_tier("gshare", n)
+        from_plan = simulate_batched_tier(
+            specs, trace, exprs=[split.expr for split in tier.splits]
+        )
+        derived = simulate_batched_tier(specs, trace)
+        for a, b in zip(from_plan, derived):
+            assert np.array_equal(a, b)
+
+    def test_micro_trace_identity(self):
+        trace = interference_field_trace(branches=8, length=1536, seed=1)
+        specs = tier_specs("gas", 4)
+        batched = simulate_batched_tier(specs, trace)
+        for spec, predictions in zip(specs, batched):
+            serial = simulate(spec, trace, engine="vectorized")
+            assert np.array_equal(predictions, serial.predictions)
+
+    def test_mixed_budget_rejected(self, trace):
+        specs = [
+            spec_for_point("gas", col_bits=4, row_bits=0),
+            spec_for_point("gas", col_bits=4, row_bits=1),
+        ]
+        with pytest.raises(ConfigurationError, match="budget"):
+            simulate_batched_tier(specs, trace)
+
+    def test_batched_configs_counter(self, trace):
+        specs = tier_specs("gas", 4)
+        simulate_batched_tier(specs, trace)
+        assert snapshot()["counters"]["sim.batched_configs"] == 5
+
+    def test_environment_decodes_each_stream_once(self, trace):
+        specs = tier_specs("gshare", 5)
+        env = tier_environment(specs, trace)
+        # One tier needs exactly the shared word and ghist streams.
+        assert sorted(name for name, _param in env) == ["ghist", "word"]
+
+
+class TestDecodeAmortization:
+    def test_one_trace_decode_per_tier(self, trace):
+        enable_profiling()
+        try:
+            simulate_batched_tier(tier_specs("gas", 5), trace)
+            data = snapshot()["histograms"]
+            assert data["sim.phase.trace_decode"]["count"] == 1
+            assert data["sim.phase.index_stream"]["count"] == 1
+        finally:
+            disable_profiling()
+
+
+class TestSweepIntegration:
+    @pytest.mark.parametrize("scheme", ["gas", "gshare"])
+    def test_batched_surface_identical_to_serial(self, trace, scheme):
+        serial = sweep_tiers(scheme, trace, size_bits=[4, 6])
+        batched = sweep_tiers(scheme, trace, size_bits=[4, 6], batched=True)
+        for n in (4, 6):
+            for a, b in zip(serial.tier(n), batched.tier(n)):
+                assert a.size_label == b.size_label
+                assert a.misprediction_rate == b.misprediction_rate
+                assert a.first_level_miss_rate == b.first_level_miss_rate
+
+    def test_rejected_tier_falls_back_to_serial(self, trace):
+        serial = sweep_tiers("pas", trace, size_bits=[4])
+        batched = sweep_tiers("pas", trace, size_bits=[4], batched=True)
+        for a, b in zip(serial.tier(4), batched.tier(4)):
+            assert a.misprediction_rate == b.misprediction_rate
+
+    def test_partial_tier_falls_back_to_serial(self, trace):
+        serial = sweep_tiers(
+            "gas", trace, size_bits=[5], row_bits_filter=[0, 2]
+        )
+        batched = sweep_tiers(
+            "gas",
+            trace,
+            size_bits=[5],
+            row_bits_filter=[0, 2],
+            batched=True,
+        )
+        for a, b in zip(serial.tier(5), batched.tier(5)):
+            assert a.misprediction_rate == b.misprediction_rate
+
+    def test_batched_accounting_matches_sweep_contract(self, trace):
+        sweep_tiers("gas", trace, size_bits=[4], batched=True)
+        counters = snapshot()["counters"]
+        assert counters["sweep.points_computed"] == 5
+        assert counters["engine.vectorized.runs"] == 5
+        assert counters["sim.branches"] == 5 * len(trace)
+        assert counters["sim.batched_configs"] == 5
