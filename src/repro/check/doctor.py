@@ -13,6 +13,13 @@ families:
   fingerprint-keyed files (``fp-<hash>.npz``), re-hashed against its
   filename. ``--repair`` moves corrupt or mismatched artifacts aside
   (``.quarantine`` suffix) so the store regenerates them on next use.
+* **The result store** (``--results``) — every ``rs-<key>.json``
+  cache artifact is schema-, CRC- and key-verified; repair quarantines
+  liars so the next request is an honest cache miss.
+* **The serve queue** (``--queue``) — job files get the journal
+  treatment (unrecoverable headers quarantine the file, torn event
+  tails truncate to the last good event) and finished-job result
+  artifacts are CRC-verified.
 
 Findings reuse the ``repro check`` machinery: exit 0 clean, 1 when
 something needs attention, 2 on internal error. Repairs count the
@@ -316,18 +323,254 @@ def scan_store(directory: str, repair: bool = False) -> List[Finding]:
     return findings
 
 
+def scan_result_store(
+    directory: str, repair: bool = False
+) -> List[Finding]:
+    """Findings for a result store directory; optionally repair it.
+
+    Every ``rs-<key>.json`` artifact must parse, carry the result
+    schema, pass its CRC, and embed the key its filename claims — a
+    failure on any axis means the cache entry would be served as a
+    sweep point that was never simulated under that address. Repair
+    quarantines the artifact; the next request for that key is simply
+    a cache miss that recomputes it.
+    """
+    import json as _json
+
+    from repro.obs.ledger import _entry_crc
+
+    from repro.serve.results import RESULT_SCHEMA, ResultStore
+
+    findings: List[Finding] = []
+    store = ResultStore(directory)
+    files = store.stored_files()
+    if not files:
+        return [
+            Finding(
+                check="doctor.results-empty",
+                severity="info",
+                why="result store is empty",
+                location=directory,
+            )
+        ]
+    healthy = 0
+    for path in files:
+        stem = os.path.basename(path)
+        claimed = stem[len("rs-") : -len(".json")]
+        why = None
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                payload = _json.load(handle)
+        except (OSError, ValueError):
+            payload = None
+            why = "unparseable result artifact"
+        if why is None:
+            if (
+                not isinstance(payload, dict)
+                or payload.get("schema") != RESULT_SCHEMA
+            ):
+                why = "missing or unrecognized result schema"
+            elif payload.get("crc") != _entry_crc(payload):
+                why = "CRC mismatch (bytes rotted or torn)"
+            elif payload.get("key") != claimed:
+                why = (
+                    f"stored key {payload.get('key')!r} does not match "
+                    "the key in the filename"
+                )
+            elif not isinstance(payload.get("point"), dict):
+                why = "artifact carries no point payload"
+        if why is not None:
+            findings.append(
+                Finding(
+                    check="doctor.results-corrupt",
+                    severity="error",
+                    why=why,
+                    location=path,
+                )
+            )
+            if repair:
+                _quarantine_artifact(path)
+                findings.append(
+                    Finding(
+                        check="doctor.results-repaired",
+                        severity="info",
+                        why="corrupt result quarantined (next request "
+                        "recomputes it)",
+                        location=path,
+                    )
+                )
+            continue
+        healthy += 1
+    findings.append(
+        Finding(
+            check="doctor.results-ok",
+            severity="info",
+            why=f"{healthy}/{len(files)} result artifact(s) verified",
+            location=directory,
+        )
+    )
+    return findings
+
+
+def scan_queue(directory: str, repair: bool = False) -> List[Finding]:
+    """Findings for a serve queue directory; optionally repair it.
+
+    Job files get the journal treatment: an unreadable header
+    quarantines the whole file (the job is unrecoverable — resubmit
+    it), while torn or corrupt event lines truncate back to the last
+    good event, which is always safe because every job state is either
+    re-derivable by the daemon or terminal. Finished-job result
+    artifacts are CRC-verified the same way the fetch client does.
+    """
+    import json as _json
+
+    from repro.obs.ledger import _entry_crc
+
+    from repro.serve.daemon import JOB_RESULT_SCHEMA
+    from repro.serve.queue import JobQueue, _decode_line
+
+    findings: List[Finding] = []
+    queue = JobQueue(directory)
+    paths = queue.job_paths()
+    if not paths and not glob.glob(
+        os.path.join(directory, "job-*.result.json")
+    ):
+        return [
+            Finding(
+                check="doctor.queue-empty",
+                severity="info",
+                why="no job files found",
+                location=directory,
+            )
+        ]
+    healthy = 0
+    for path in paths:
+        lines = _read_lines(path)
+        header = _decode_line(lines[0], "job") if lines else None
+        if header is None:
+            findings.append(
+                Finding(
+                    check="doctor.queue-header",
+                    severity="error",
+                    why="corrupt or unrecognized job header",
+                    location=f"{path}:1",
+                )
+            )
+            if repair:
+                _quarantine_artifact(path)
+                findings.append(
+                    Finding(
+                        check="doctor.queue-repaired",
+                        severity="info",
+                        why="job file quarantined (unrecoverable "
+                        "header; resubmit the job)",
+                        location=path,
+                    )
+                )
+            continue
+        good = [lines[0]]
+        bad = 0
+        for lineno, line in enumerate(lines[1:], start=2):
+            event = _decode_line(line, "event")
+            if event is None:
+                bad += 1
+                at_end = lineno == len(lines)
+                findings.append(
+                    Finding(
+                        check="doctor.queue-event",
+                        severity="warning" if at_end else "error",
+                        why=(
+                            "torn tail (truncated final event)"
+                            if at_end
+                            else "corrupt event (bad JSON or CRC)"
+                        ),
+                        location=f"{path}:{lineno}",
+                    )
+                )
+                continue
+            good.append(line)
+        if bad == 0:
+            healthy += 1
+        elif repair:
+            _repair_journal(path, lines, good)
+            findings.append(
+                Finding(
+                    check="doctor.queue-repaired",
+                    severity="info",
+                    why=f"job file truncated to last good event "
+                    f"({bad} line(s) quarantined)",
+                    location=path,
+                )
+            )
+    for path in sorted(
+        glob.glob(os.path.join(directory, "job-*.result.json"))
+    ):
+        why = None
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                payload = _json.load(handle)
+        except (OSError, ValueError):
+            payload = None
+            why = "unparseable job result artifact"
+        if why is None and (
+            not isinstance(payload, dict)
+            or payload.get("schema") != JOB_RESULT_SCHEMA
+            or payload.get("crc") != _entry_crc(payload)
+        ):
+            why = "job result artifact fails schema or CRC check"
+        if why is not None:
+            findings.append(
+                Finding(
+                    check="doctor.queue-result",
+                    severity="error",
+                    why=why,
+                    location=path,
+                )
+            )
+            if repair:
+                _quarantine_artifact(path)
+                findings.append(
+                    Finding(
+                        check="doctor.queue-repaired",
+                        severity="info",
+                        why="damaged job result quarantined "
+                        "(resubmit — the cache makes it cheap)",
+                        location=path,
+                    )
+                )
+            continue
+        healthy += 1
+    findings.append(
+        Finding(
+            check="doctor.queue-ok",
+            severity="info",
+            why=f"{healthy} queue artifact(s) verified",
+            location=directory,
+        )
+    )
+    return findings
+
+
 def run_doctor(
     journals: Tuple[str, ...] = (),
     checkpoint_dir: Optional[str] = None,
     store_dir: Optional[str] = None,
+    results_dir: Optional[str] = None,
+    queue_dir: Optional[str] = None,
     repair: bool = False,
 ) -> CheckReport:
     """Aggregate scans into one report (the CLI entry point)."""
     report = CheckReport()
-    if not journals and checkpoint_dir is None and store_dir is None:
+    if (
+        not journals
+        and checkpoint_dir is None
+        and store_dir is None
+        and results_dir is None
+        and queue_dir is None
+    ):
         raise CheckError(
             "doctor needs something to scan: --journal, "
-            "--checkpoint-dir, or --store"
+            "--checkpoint-dir, --store, --results, or --queue"
         )
     if journals:
         journal_findings: List[Finding] = []
@@ -341,4 +584,10 @@ def run_doctor(
         )
     if store_dir is not None:
         report.extend("doctor.store", scan_store(store_dir, repair=repair))
+    if results_dir is not None:
+        report.extend(
+            "doctor.results", scan_result_store(results_dir, repair=repair)
+        )
+    if queue_dir is not None:
+        report.extend("doctor.queue", scan_queue(queue_dir, repair=repair))
     return report

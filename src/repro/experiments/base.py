@@ -46,7 +46,10 @@ class ExperimentOptions:
     sweeps (``--dashboard``; see :mod:`repro.obs.dashboard`).
     ``batched`` advances all splits of a tier per trace pass when the
     static batch planner proves it safe (``--batched``; see
-    :mod:`repro.check.batchplan`).
+    :mod:`repro.check.batchplan`). ``use_cache`` memoizes finished
+    points through the content-addressed result store when
+    ``$REPRO_RESULT_STORE`` is set (``--no-cache`` opts out; see
+    :mod:`repro.serve.results`).
     """
 
     length: int = DEFAULT_LENGTH
@@ -63,6 +66,7 @@ class ExperimentOptions:
     plan_from_estimate: Optional[float] = None
     dashboard: bool = False
     batched: bool = False
+    use_cache: bool = True
 
     def sweep_kwargs(self) -> Dict[str, Any]:
         """Runtime keyword arguments for :func:`repro.sim.sweep.sweep_tiers`."""
@@ -77,6 +81,7 @@ class ExperimentOptions:
             "plan_from_estimate": self.plan_from_estimate,
             "dashboard": self.dashboard,
             "batched": self.batched,
+            "use_cache": self.use_cache,
         }
 
     def resolve_benchmarks(self, default: Sequence[str]) -> List[str]:

@@ -225,6 +225,14 @@ WELL_KNOWN = {
         "check.batchplan.classes",    # transform-equivalence classes proved
         "check.batchplan.rejected",   # tiers refused for batched stacking
         "sim.batched_configs",        # configs advanced by batched tier passes
+        "cache.hits",              # result-store points served without simulating
+        "cache.misses",            # result-store lookups that had to simulate
+        "serve.jobs_submitted",    # jobs accepted into the serve queue
+        "serve.jobs_deduped",      # submissions attached to an in-flight job
+        "serve.jobs_completed",    # jobs finished with a result artifact
+        "serve.jobs_failed",       # jobs that ended in an error state
+        "serve.jobs_cancelled",    # jobs cancelled before completion
+        "serve.rounds",            # worker-pool rounds the daemon spawned
     ),
     "gauges": (),
     "histograms": (
@@ -238,6 +246,7 @@ WELL_KNOWN = {
         "sim.phase.checkpoint_flush", # journal rewrite+rename seconds
         "sim.phase.engine_other",     # engine wall not covered above
         "analyze.profile_s",          # runtime branch-profiling seconds
+        "serve.job_s",                # wall seconds per completed serve job
     ),
 }
 

@@ -1,0 +1,363 @@
+"""The daemon's shared worker pool: many jobs, one fleet.
+
+The one-shot parallel executor (:mod:`repro.exec.parallel`) fans the
+points of a *single* sweep over workers; the serve pool generalizes the
+same machinery to a mixed bag of tasks drawn from *every* live job at
+once. Each :class:`PoolTask` carries its own scheme, trace path, and
+predictor geometry, plus the content address the finished point is
+cached under — so Figure 4's gas points and Figure 6's gshare points
+shard over the same fleet, land in the same
+:class:`~repro.serve.results.ResultStore`, and report into one merged
+metrics snapshot.
+
+Coordination is the executor's, verbatim: workers race for shard
+leases (:mod:`repro.exec.leases` — same fencing tokens, same nonce
+readback), simulate through :func:`repro.exec.worker.compute_point`
+(same retry-backoff, same spans and histograms, same ``exec.worker``
+fault site), poll the scratch stop flag between tasks, and save
+per-worker metrics snapshots that
+:func:`repro.exec.merge.absorb_worker_reports` folds at join. What
+replaces the per-sweep journal is a per-worker *result log*
+(``worker-NNNN.results.jsonl``): CRC-stamped lines carrying the point
+**and its cache key**, token/shard-stamped for fencing — so a crashed
+daemon's leftover logs salvage directly into the result store without
+re-deriving any job's plan.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import os
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.faults import maybe_inject
+
+#: Target shards per worker, matching the one-shot executor's choice:
+#: small enough to rebalance around a slow worker, big enough to keep
+#: lease traffic negligible next to simulation time.
+SHARDS_PER_WORKER = 4
+
+#: Per-worker result log filename shape (lives in the pool scratch).
+_RESULTS_GLOB = "worker-*.results.jsonl"
+
+
+@dataclass(frozen=True)
+class PoolTask:
+    """One cache-missing point some live job needs simulated."""
+
+    key: str          # ResultStore content address (single-point sweep_key)
+    job_id: str
+    benchmark: str
+    scheme: str
+    trace_path: str
+    n: int
+    row_bits: int
+    bht_entries: Optional[int] = None
+    bht_assoc: int = 4
+
+
+@dataclass(frozen=True)
+class PoolPlan:
+    """Everything one pool worker needs; shipped over fork/spawn."""
+
+    worker_id: int
+    shards: Tuple[Tuple[int, Tuple[PoolTask, ...]], ...]
+    scratch_dir: str
+    engine: str = "auto"
+    paranoid: bool = False
+    lease_ttl_s: float = 600.0
+    start_offset: int = 0
+    backend: str = ""
+
+
+def results_log_path(scratch_dir: str, worker_id: int) -> str:
+    return os.path.join(
+        scratch_dir, f"worker-{worker_id:04d}.results.jsonl"
+    )
+
+
+def shard_tasks(
+    tasks: List[PoolTask], workers: int
+) -> List[Tuple[int, Tuple[PoolTask, ...]]]:
+    """Split the task bag into lease-sized shards.
+
+    Tasks arrive interleaved across jobs (the daemon round-robins
+    them), so every shard mixes jobs and no single job monopolizes the
+    fleet's first claims.
+    """
+    size = max(1, math.ceil(len(tasks) / (workers * SHARDS_PER_WORKER)))
+    return [
+        (index, tuple(tasks[start : start + size]))
+        for index, start in enumerate(range(0, len(tasks), size))
+    ]
+
+
+def _result_line(task: PoolTask, point, token: int, shard: int) -> Dict[str, Any]:
+    from repro.obs.ledger import _entry_crc
+
+    payload: Dict[str, Any] = {
+        "kind": "result",
+        "key": task.key,
+        "job": task.job_id,
+        "bench": task.benchmark,
+        "n": task.n,
+        "col_bits": point.col_bits,
+        "row_bits": point.row_bits,
+        "misprediction_rate": point.misprediction_rate,
+        "aliasing_rate": point.aliasing_rate,
+        "first_level_miss_rate": point.first_level_miss_rate,
+        "token": token,
+        "shard": shard,
+    }
+    payload["crc"] = _entry_crc(payload)
+    return payload
+
+
+def _decode_result_line(line: str) -> Optional[Dict[str, Any]]:
+    from repro.obs.ledger import _entry_crc
+
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict) or payload.get("kind") != "result":
+        return None
+    if payload.get("crc") != _entry_crc(payload):
+        return None
+    return payload
+
+
+def load_pool_results(scratch_dir: str) -> Dict[str, Dict[str, Any]]:
+    """All fenced, CRC-valid result lines, keyed by cache key.
+
+    Tolerant exactly like the executor's journal reads: a torn or
+    corrupt line contributes nothing (its point gets recomputed), and a
+    line stamped with a superseded fencing token — a zombie worker
+    appending after its shard was reclaimed — is dropped and counted.
+    """
+    from repro.obs.metrics import counter
+    from repro.runtime.checkpoint import _superseded
+
+    from repro.exec.leases import read_fence_table
+
+    fence = read_fence_table(scratch_dir)
+    results: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(
+        glob.glob(os.path.join(scratch_dir, _RESULTS_GLOB))
+    ):
+        try:
+            with open(path, "r", encoding="ascii", errors="replace") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            payload = _decode_result_line(line)
+            if payload is None:
+                continue
+            if _superseded(payload, fence):
+                counter("lease.fence_rejections").inc()
+                continue
+            results.setdefault(str(payload["key"]), payload)
+    return results
+
+
+def result_point(payload: Dict[str, Any]):
+    """The :class:`~repro.sim.results.TierPoint` inside a result line."""
+    from repro.sim.results import TierPoint
+
+    return TierPoint(
+        col_bits=payload["col_bits"],
+        row_bits=payload["row_bits"],
+        misprediction_rate=payload["misprediction_rate"],
+        aliasing_rate=payload.get("aliasing_rate"),
+        first_level_miss_rate=payload.get("first_level_miss_rate"),
+    )
+
+
+def pool_progress(scratch_dir: str) -> Dict[int, Dict[str, int]]:
+    """Per-worker landed-task and shard counts, for the dashboard."""
+    progress: Dict[int, Dict[str, int]] = {}
+    for path in sorted(
+        glob.glob(os.path.join(scratch_dir, _RESULTS_GLOB))
+    ):
+        stem = os.path.basename(path)
+        try:
+            wid = int(stem[len("worker-") : -len(".results.jsonl")])
+        except ValueError:
+            continue
+        points = 0
+        shards = set()
+        try:
+            with open(path, "r", encoding="ascii", errors="replace") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            lines = []
+        for line in lines:
+            payload = _decode_result_line(line)
+            if payload is None:
+                continue
+            points += 1
+            if payload.get("shard") is not None:
+                shards.add(payload["shard"])
+        progress[wid] = {"points": points, "shards": len(shards)}
+    return progress
+
+
+def clear_pool_artifacts(scratch_dir: str) -> None:
+    """Delete merged result logs and per-round coordination state.
+
+    Same contract as the executor's ``clear_worker_artifacts``: run
+    only after the logs have been folded into the result store, so a
+    respawned round starts with fresh leases and nothing double-merges.
+    """
+    patterns = (_RESULTS_GLOB, "shard-*.lease", "shard-*.gen-*")
+    for pattern in patterns:
+        for path in glob.glob(os.path.join(scratch_dir, pattern)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+
+def pool_worker_main(plan: PoolPlan) -> None:
+    """Process entry point: claim shards, simulate tasks, log, report.
+
+    Telemetry discipline is the executor worker's: reset the inherited
+    registry and tracer, stream spans to a per-worker sink, snapshot
+    metrics after every shard (cumulative overwrite), and exit 1 on
+    failure so the daemon's round machinery re-claims the shards.
+    """
+    from repro.obs import get_logger, get_tracer, reset_metrics
+    from repro.obs.report import write_metrics
+
+    from repro.exec.worker import worker_metrics_path, worker_spans_path
+
+    try:
+        # The daemon coordinates drains; a worker interrupting
+        # mid-rewrite could tear its own result log.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    tracer = get_tracer()
+    tracer.abandon_sink()
+    tracer.reset()
+    reset_metrics()
+    tracer.configure_sink(
+        worker_spans_path(plan.scratch_dir, plan.worker_id)
+    )
+    log = get_logger("repro.serve")
+    failed = False
+    try:
+        with tracer.span(
+            "serve.worker", worker=plan.worker_id, shards=len(plan.shards)
+        ):
+            _run_task_shards(plan)
+    except BaseException as error:  # noqa: B036 - crash = daemon re-claims
+        failed = True
+        log.error(
+            "pool worker %d failed: %s: %s",
+            plan.worker_id,
+            type(error).__name__,
+            error,
+        )
+    finally:
+        tracer.close_sink()
+        try:
+            write_metrics(
+                worker_metrics_path(plan.scratch_dir, plan.worker_id)
+            )
+        except OSError:  # pragma: no cover - scratch dir vanished
+            pass
+    if failed:
+        sys.exit(1)
+
+
+def _run_task_shards(plan: PoolPlan) -> None:
+    from repro.obs.metrics import counter
+    from repro.obs.report import write_metrics
+    from repro.obs.spans import span
+    from repro.runtime.checkpoint import atomic_write_text
+    from repro.traces.io import load_trace
+
+    from repro.exec import leases
+    from repro.exec.worker import (
+        WorkerPlan,
+        compute_point,
+        stop_requested,
+        worker_metrics_path,
+    )
+
+    backend = leases.make_backend(
+        plan.backend, plan.scratch_dir, ttl_s=plan.lease_ttl_s
+    )
+    log_path = results_log_path(plan.scratch_dir, plan.worker_id)
+    lines: List[str] = []
+    traces: Dict[str, Any] = {}  # one load per distinct trace this worker sees
+    count = len(plan.shards)
+    for position in range(count):
+        shard_id, tasks = plan.shards[(position + plan.start_offset) % count]
+        if stop_requested(plan.scratch_dir):
+            break
+        lease = backend.try_claim(shard_id)
+        if lease is None:
+            continue
+        drained = lost = False
+        with span(
+            "serve.shard",
+            worker=plan.worker_id,
+            shard=shard_id,
+            tasks=len(tasks),
+        ):
+            for task in tasks:
+                if stop_requested(plan.scratch_dir):
+                    drained = True
+                    break
+                renewed = backend.heartbeat(lease)
+                if renewed is None:
+                    lost = True  # fenced off: any append would be rejected
+                    break
+                lease = renewed
+                maybe_inject("exec.worker")
+                stub = WorkerPlan(
+                    worker_id=plan.worker_id,
+                    scheme=task.scheme,
+                    trace_path=task.trace_path,
+                    shards=(),
+                    scratch_dir=plan.scratch_dir,
+                    journal_key="",
+                    engine=plan.engine,
+                    paranoid=plan.paranoid,
+                    bht_entries=task.bht_entries,
+                    bht_assoc=task.bht_assoc,
+                )
+                if task.trace_path not in traces:
+                    traces[task.trace_path] = load_trace(task.trace_path)
+                point = compute_point(
+                    stub, traces[task.trace_path], task.n, task.row_bits
+                )
+                counter("sweep.points_computed").inc()
+                lines.append(
+                    json.dumps(
+                        _result_line(task, point, lease.token, shard_id),
+                        sort_keys=True,
+                    )
+                )
+                # Flush-per-task, atomically: a reader never sees a torn
+                # log, and a worker killed mid-shard loses at most the
+                # in-flight task.
+                atomic_write_text(log_path, "\n".join(lines) + "\n")
+        if lost:
+            continue
+        if not drained:
+            backend.mark_done(lease)
+        try:
+            write_metrics(
+                worker_metrics_path(plan.scratch_dir, plan.worker_id)
+            )
+        except OSError:  # pragma: no cover - scratch dir vanished
+            pass

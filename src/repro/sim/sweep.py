@@ -212,6 +212,7 @@ def sweep_tiers(
     plan_from_estimate: Optional[float] = None,
     dashboard: bool = False,
     batched: bool = False,
+    use_cache: bool = True,
 ) -> TierSurface:
     """Simulate every (columns x rows) split of every requested tier.
 
@@ -273,6 +274,15 @@ def sweep_tiers(
         rejects, partially restored tiers, paranoid runs, and
         ``engine="reference"`` fall back to the per-point path
         (logged). Serial only; ignored when ``workers > 1``.
+    use_cache:
+        Consult the content-addressed result store
+        (:mod:`repro.serve.results`, enabled by pointing
+        ``$REPRO_RESULT_STORE`` at a directory) before simulating each
+        point, and publish freshly computed points back into it —
+        ``cache.hits``/``cache.misses`` count the difference, and the
+        one-shot and served paths share one cache. The CLI exposes
+        ``--no-cache`` to skip both sides. Paranoid runs never serve
+        from cache (the point of paranoid is to re-run the engines).
     """
     from repro.runtime.deadline import CooperativeInterrupt
     from repro.runtime.faults import maybe_inject
@@ -338,6 +348,44 @@ def sweep_tiers(
         plan = _prune_plan(
             scheme, trace, plan, plan_from_estimate, bht_entries, bht_assoc
         )
+
+    # Satellite cache: overlay memoized points from the result store on
+    # top of whatever the journal restored, then journal them so the
+    # next resume of this sweep does not even need the store.
+    result_store = None
+    if use_cache and not paranoid:
+        from repro.serve.results import ResultStore
+
+        result_store = ResultStore.from_env()
+    if result_store is not None:
+        from repro.serve.results import point_key
+
+        fingerprint = trace.fingerprint()
+        served: List[Tuple[int, TierPoint]] = []
+        for n, row_bits in plan:
+            if (n, row_bits) in restored:
+                continue
+            cached = result_store.get(
+                point_key(
+                    scheme,
+                    fingerprint,
+                    n,
+                    row_bits,
+                    bht_entries=bht_entries,
+                    bht_assoc=bht_assoc,
+                )
+            )
+            if cached is None:
+                continue
+            restored[(n, row_bits)] = cached
+            served.append((n, cached))
+        if journal is not None and served:
+            for n, point in served:
+                journal.append(n, point, flush=False)
+            journal.flush()
+    #: Points that arrived from the journal or the store — everything
+    #: else was simulated this run and gets published back at the end.
+    prefilled = set(restored)
     total = len(plan)
     completed = 0
 
@@ -487,6 +535,25 @@ def sweep_tiers(
 
         journal.discard()
         shutil.rmtree(ephemeral_dir, ignore_errors=True)
+    if result_store is not None:
+        from repro.serve.results import point_key
+
+        for n, points in surface.tiers.items():
+            for point in points:
+                if (n, point.row_bits) in prefilled:
+                    continue
+                result_store.put(
+                    point_key(
+                        scheme,
+                        fingerprint,
+                        n,
+                        point.row_bits,
+                        bht_entries=bht_entries,
+                        bht_assoc=bht_assoc,
+                    ),
+                    n,
+                    point,
+                )
     return surface
 
 

@@ -16,6 +16,8 @@ from repro.check.doctor import (
     run_doctor,
     scan_checkpoint_dir,
     scan_journal,
+    scan_queue,
+    scan_result_store,
     scan_store,
 )
 from repro.cli import main
@@ -358,3 +360,125 @@ class TestDoctorCli:
         out = capsys.readouterr().out
         assert "2 evicted" in out
         assert store.total_bytes() == 0
+
+
+class TestScanResultStore:
+    def _store(self, tmp_path):
+        from repro.serve.results import ResultStore, point_key
+
+        store = ResultStore(str(tmp_path))
+        key = point_key("gas", "fp0", 4, 1)
+        path = store.put(key, 4, _point(1))
+        return store, key, path
+
+    def test_healthy_results_verify(self, tmp_path):
+        self._store(tmp_path)
+        findings = scan_result_store(str(tmp_path))
+        assert checks_of(findings) == ["doctor.results-ok"]
+        assert "1/1" in findings[0].why
+
+    def test_empty_results_are_fine(self, tmp_path):
+        assert checks_of(scan_result_store(str(tmp_path))) == [
+            "doctor.results-empty"
+        ]
+
+    def test_rotted_artifact_detected_and_quarantined(self, tmp_path):
+        store, key, path = self._store(tmp_path)
+        payload = json.loads(open(path, encoding="ascii").read())
+        payload["point"]["misprediction_rate"] = 0.5  # stale CRC
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(json.dumps(payload))
+        findings = scan_result_store(str(tmp_path))
+        assert "doctor.results-corrupt" in checks_of(findings)
+        findings = scan_result_store(str(tmp_path), repair=True)
+        assert "doctor.results-repaired" in checks_of(findings)
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".quarantine")
+        # A quarantined result is just a cache miss on next request.
+        assert store.get(key) is None
+
+    def test_filename_key_mismatch_detected(self, tmp_path):
+        store, key, path = self._store(tmp_path)
+        impostor = os.path.join(str(tmp_path), "rs-" + "0" * 16 + ".json")
+        os.rename(path, impostor)
+        findings = scan_result_store(str(tmp_path))
+        assert "doctor.results-corrupt" in checks_of(findings)
+        assert "does not match" in findings[0].why
+
+
+class TestScanQueue:
+    def _queue(self, tmp_path):
+        from repro.serve.queue import JobQueue, JobSpec
+
+        queue = JobQueue(str(tmp_path))
+        job, _ = queue.submit(
+            JobSpec(
+                experiment="fig4",
+                benchmarks=("compress",),
+                length=2_000,
+                size_bits=(4, 5),
+            )
+        )
+        return queue, job
+
+    def test_healthy_queue_verifies(self, tmp_path):
+        queue, job = self._queue(tmp_path)
+        queue.append_event(job, "running", {"points": 11})
+        findings = scan_queue(str(tmp_path))
+        assert checks_of(findings) == ["doctor.queue-ok"]
+
+    def test_empty_queue_is_fine(self, tmp_path):
+        assert checks_of(scan_queue(str(tmp_path))) == [
+            "doctor.queue-empty"
+        ]
+
+    def test_corrupt_header_quarantines_whole_file(self, tmp_path):
+        queue, job = self._queue(tmp_path)
+        with open(job.path, "w", encoding="ascii") as handle:
+            handle.write("garbage\n")
+        findings = scan_queue(str(tmp_path))
+        assert "doctor.queue-header" in checks_of(findings)
+        findings = scan_queue(str(tmp_path), repair=True)
+        assert "doctor.queue-repaired" in checks_of(findings)
+        assert not os.path.exists(job.path)
+        assert os.path.exists(job.path + ".quarantine")
+
+    def test_torn_event_tail_is_warning_and_repairable(self, tmp_path):
+        queue, job = self._queue(tmp_path)
+        queue.append_event(job, "running", {"points": 11})
+        with open(job.path, "a", encoding="ascii") as handle:
+            handle.write('{"kind": "event", "state": "done"')
+        findings = scan_queue(str(tmp_path))
+        torn = [f for f in findings if f.check == "doctor.queue-event"]
+        assert torn and torn[0].severity == "warning"
+        scan_queue(str(tmp_path), repair=True)
+        assert checks_of(scan_queue(str(tmp_path))) == ["doctor.queue-ok"]
+        assert queue.find(job.id).state == "running"
+
+    def test_damaged_result_artifact_detected(self, tmp_path):
+        queue, job = self._queue(tmp_path)
+        queue.append_event(job, "done", {"points": 11})
+        with open(job.result_path(), "w", encoding="ascii") as handle:
+            handle.write('{"schema": "repro.job-result/1"}')
+        findings = scan_queue(str(tmp_path))
+        assert "doctor.queue-result" in checks_of(findings)
+        scan_queue(str(tmp_path), repair=True)
+        assert os.path.exists(job.result_path() + ".quarantine")
+
+    def test_doctor_cli_covers_results_and_queue(self, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        queue_dir = tmp_path / "queue"
+        results_dir.mkdir()
+        queue_dir.mkdir()
+        code = main(
+            [
+                "doctor",
+                "--results",
+                str(results_dir),
+                "--queue",
+                str(queue_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "queue" in out
